@@ -1,0 +1,208 @@
+package fpcache
+
+// The bench harness: one benchmark per paper table/figure (DESIGN.md
+// §4 maps each to its experiment driver), plus microbenchmarks of the
+// performance-critical structures. Figure benches run reduced-size
+// experiments per iteration and report rows through b.Log on the
+// first iteration; `cmd/fpbench` regenerates the full-size versions.
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/fpbench            # full-size reproduction
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"fpcache/internal/core"
+	"fpcache/internal/dram"
+	"fpcache/internal/experiments"
+	"fpcache/internal/memtrace"
+	"fpcache/internal/sim"
+	"fpcache/internal/synth"
+	"fpcache/internal/system"
+)
+
+// benchOptions is the reduced experiment size used per benchmark
+// iteration.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Scale:      1.0 / 64,
+		Refs:       60_000,
+		WarmupRefs: 60_000,
+		TimingRefs: 15_000,
+		Seed:       1,
+		Workloads:  []string{WebSearch, MapReduce},
+		Capacities: []int{64, 256},
+	}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the die-stacking opportunity study
+// (high-BW and high-BW+low-latency stacked main memory vs baseline).
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "figure1") }
+
+// BenchmarkTable4 regenerates the cache-parameter table (SRAM
+// metadata budgets and latencies).
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkFigure4 regenerates the page-density histograms.
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "figure4") }
+
+// BenchmarkFigure5 regenerates miss ratios and normalized off-chip
+// bandwidth for page/footprint/block.
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "figure5") }
+
+// BenchmarkFigure6 regenerates the performance comparison (all
+// workloads in the bench subset except Data Serving).
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "figure6") }
+
+// BenchmarkFigure7 regenerates the Data Serving performance
+// comparison.
+func BenchmarkFigure7(b *testing.B) {
+	o := benchOptions()
+	o.TimingRefs = 10_000 // Data Serving saturates; keep iterations bounded
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run("figure7", o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates predictor accuracy vs page size.
+func BenchmarkFigure8(b *testing.B) { benchExperiment(b, "figure8") }
+
+// BenchmarkFigure9 regenerates hit ratio vs FHT size.
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "figure9") }
+
+// BenchmarkFigure10 regenerates off-chip energy per instruction.
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+
+// BenchmarkFigure11 regenerates stacked energy per instruction.
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "figure11") }
+
+// BenchmarkFigure12 regenerates the hot-page coverage analysis.
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "figure12") }
+
+// BenchmarkAblationSingleton covers §6.5 (singleton capacity
+// optimization) and §3.1 (fetch-policy bounds) in one driver.
+func BenchmarkAblationSingleton(b *testing.B) { benchExperiment(b, "ablation") }
+
+// --- Microbenchmarks of the hot structures ---
+
+// BenchmarkGeneratorThroughput measures trace generation rate.
+func BenchmarkGeneratorThroughput(b *testing.B) {
+	prof, err := synth.ByName(WebSearch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := synth.NewGenerator(prof, 1, 1.0/16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next()
+	}
+}
+
+// BenchmarkFootprintAccess measures the Footprint Cache's per-access
+// cost in functional mode.
+func BenchmarkFootprintAccess(b *testing.B) {
+	c, err := core.New(core.Default(16 << 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]memtrace.Record, 1<<16)
+	for i := range recs {
+		recs[i] = memtrace.Record{
+			PC:    memtrace.PC(0x400000 + rng.Intn(256)*4),
+			Addr:  memtrace.Addr(rng.Intn(1<<22) * 64),
+			Write: rng.Intn(3) == 0,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(recs[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkBlockCacheAccess measures the block-based comparator's
+// per-access cost (MissMap + in-DRAM tag model).
+func BenchmarkBlockCacheAccess(b *testing.B) {
+	d, err := system.BuildDesign(system.DesignSpec{Kind: system.KindBlock, PaperCapacityMB: 256, Scale: 1.0 / 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]memtrace.Record, 1<<16)
+	for i := range recs {
+		recs[i] = memtrace.Record{
+			Addr:  memtrace.Addr(rng.Intn(1<<22) * 64),
+			Write: rng.Intn(3) == 0,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(recs[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkDRAMController measures the event-driven DRAM timing model.
+func BenchmarkDRAMController(b *testing.B) {
+	eng := &sim.Engine{}
+	ctrl := dram.NewController(eng, dram.StackedDDR3_3200())
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Submit(&dram.Request{
+			Addr:  memtrace.Addr(rng.Intn(1<<20) * 64),
+			Bytes: 64,
+			Write: i%3 == 0,
+		})
+		if i%64 == 0 {
+			eng.RunUntil(eng.Now() + 10000)
+		}
+	}
+	eng.Run(nil)
+}
+
+// BenchmarkEventEngine measures raw DES throughput.
+func BenchmarkEventEngine(b *testing.B) {
+	eng := &sim.Engine{}
+	n := 0
+	var spawn func()
+	spawn = func() {
+		n++
+		if n < b.N {
+			eng.After(1, spawn)
+		}
+	}
+	eng.Schedule(0, spawn)
+	b.ResetTimer()
+	eng.Run(nil)
+}
+
+// BenchmarkFunctionalPipeline measures the end-to-end functional
+// simulation rate (generator -> footprint cache -> DRAM trackers).
+func BenchmarkFunctionalPipeline(b *testing.B) {
+	d, err := NewDesign(Config{Workload: WebSearch, Design: Footprint, PaperCapacityMB: 64, Scale: 1.0 / 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _, err := NewTrace(Config{Workload: WebSearch, Scale: 1.0 / 64, Refs: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	system.RunFunctional(d, src, 0, b.N)
+}

@@ -1,0 +1,76 @@
+// Command fpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fpbench                      # run every experiment (paper order)
+//	fpbench -figure figure5      # one experiment
+//	fpbench -list                # list experiment identifiers
+//	fpbench -refs 2000000 -scale 0.0625 -workloads web-search,mapreduce
+//
+// Each experiment prints the same rows/series the paper reports;
+// EXPERIMENTS.md records a reference run with paper-vs-measured
+// commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fpcache/internal/experiments"
+)
+
+func main() {
+	var (
+		figure    = flag.String("figure", "", "experiment to run (default: all); see -list")
+		list      = flag.Bool("list", false, "list experiment identifiers and exit")
+		scale     = flag.Float64("scale", 1.0/16, "capacity scale factor (1.0 = paper scale)")
+		refs      = flag.Int("refs", 1_000_000, "measured references per functional configuration")
+		warmup    = flag.Int("warmup", 0, "warmup references (default: same as -refs)")
+		timing    = flag.Int("timingrefs", 0, "measured references per timing configuration (default: refs/4)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		caps      = flag.String("capacities", "", "comma-separated paper-scale capacities in MB (default: 64,128,256,512)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	o := experiments.Options{
+		Scale:      *scale,
+		Refs:       *refs,
+		WarmupRefs: *warmup,
+		TimingRefs: *timing,
+		Seed:       *seed,
+	}
+	if *workloads != "" {
+		o.Workloads = strings.Split(*workloads, ",")
+	}
+	if *caps != "" {
+		for _, c := range strings.Split(*caps, ",") {
+			var mb int
+			if _, err := fmt.Sscanf(strings.TrimSpace(c), "%d", &mb); err != nil {
+				fmt.Fprintf(os.Stderr, "fpbench: bad capacity %q: %v\n", c, err)
+				os.Exit(2)
+			}
+			o.Capacities = append(o.Capacities, mb)
+		}
+	}
+
+	var err error
+	if *figure == "" {
+		err = experiments.RunAll(o, os.Stdout)
+	} else {
+		err = experiments.Run(*figure, o, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+// Command fpsim runs one (workload, design, capacity) simulation and
+// prints its metrics — the quickest way to poke at a single
+// configuration.
+//
+// Usage:
+//
+//	fpsim -workload web-search -design footprint -capacity 256
+//	fpsim -design page -mode timing -refs 250000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpcache"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", fpcache.WebSearch, "workload name")
+		design   = flag.String("design", string(fpcache.Footprint), "cache design")
+		capMB    = flag.Int("capacity", 256, "paper-scale capacity in MB")
+		scale    = flag.Float64("scale", fpcache.DefaultScale, "capacity scale factor")
+		refs     = flag.Int("refs", 1_000_000, "measured references")
+		warmup   = flag.Int("warmup", 0, "warmup references (default: same as -refs)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		mode     = flag.String("mode", "functional", "simulation mode: functional or timing")
+	)
+	flag.Parse()
+
+	cfg := fpcache.Config{
+		Workload:        *workload,
+		Design:          fpcache.DesignKind(*design),
+		PaperCapacityMB: *capMB,
+		Scale:           *scale,
+		Refs:            *refs,
+		WarmupRefs:      *warmup,
+		Seed:            *seed,
+	}
+
+	switch *mode {
+	case "functional":
+		res, err := fpcache.RunFunctional(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("workload:            %s\n", *workload)
+		fmt.Printf("design:              %s @ %dMB (scale %.4g)\n", res.Design, *capMB, *scale)
+		fmt.Printf("references:          %d\n", res.Refs)
+		fmt.Printf("miss ratio:          %.2f%%\n", 100*res.MissRatio())
+		fmt.Printf("hit ratio:           %.2f%%\n", 100*res.Counters.HitRatio())
+		fmt.Printf("bypasses:            %d\n", res.Counters.Bypasses)
+		fmt.Printf("off-chip bytes/ref:  %.1f\n", res.OffChipBytesPerRef())
+		fmt.Printf("off-chip row hits:   %.1f%%\n", 100*res.OffChip.RowHitRatio())
+		fmt.Printf("stacked row hits:    %.1f%%\n", 100*res.Stacked.RowHitRatio())
+		if fp := res.Footprint; fp != nil {
+			fmt.Printf("predictor coverage:  %.1f%%\n", 100*fp.Coverage())
+			fmt.Printf("overprediction:      %.1f%%\n", 100*fp.Overprediction())
+			fmt.Printf("underpred misses:    %d\n", fp.UnderpredMisses)
+			fmt.Printf("singleton bypasses:  %d (corrections %d)\n", fp.SingletonBypasses, fp.STCorrections)
+		}
+	case "timing":
+		res, err := fpcache.RunTiming(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("workload:            %s\n", *workload)
+		fmt.Printf("design:              %s @ %dMB (scale %.4g)\n", res.Design, *capMB, *scale)
+		fmt.Printf("references:          %d\n", res.Refs)
+		fmt.Printf("instructions:        %d\n", res.Instructions)
+		fmt.Printf("cycles:              %d\n", res.Cycles)
+		fmt.Printf("aggregate IPC:       %.3f\n", res.AggIPC())
+		fmt.Printf("avg read latency:    %.0f cycles\n", res.AvgReadLatency)
+		fmt.Printf("miss ratio:          %.2f%%\n", 100*res.Counters.MissRatio())
+		off := res.OffChipEnergyPerInstr()
+		stk := res.StackedEnergyPerInstr()
+		fmt.Printf("off-chip energy/ins: %.1f pJ (act %.1f + burst %.1f)\n", off.TotalPJ(), off.ActPrePJ, off.BurstPJ)
+		fmt.Printf("stacked energy/ins:  %.1f pJ (act %.1f + burst %.1f)\n", stk.TotalPJ(), stk.ActPrePJ, stk.BurstPJ)
+	default:
+		fail(fmt.Errorf("unknown mode %q (functional or timing)", *mode))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command tracegen writes a synthetic workload trace to disk in the
+// binary trace format, so external tools (or repeated cache studies)
+// can replay identical reference streams.
+//
+// Usage:
+//
+//	tracegen -workload mapreduce -refs 5000000 -o mapreduce.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpcache"
+	"fpcache/internal/memtrace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", fpcache.WebSearch, "workload name")
+		refs     = flag.Int("refs", 1_000_000, "number of references to emit")
+		scale    = flag.Float64("scale", fpcache.DefaultScale, "capacity scale factor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o output file is required")
+		os.Exit(2)
+	}
+
+	src, _, err := fpcache.NewTrace(fpcache.Config{
+		Workload: *workload, Scale: *scale, Seed: *seed, Refs: *refs,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	tw := memtrace.NewWriter(f)
+	for i := 0; i < *refs; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(rec); err != nil {
+			fail(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("tracegen: wrote %d records of %s to %s\n", tw.Count(), *workload, *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Designspace sweeps every DRAM cache organization across the paper's
+// capacity range on one workload — the Figure 5/6 story in one
+// program. Pass a workload name as the first argument (default:
+// mapreduce, the workload where the page-based design's traffic
+// problem is most visible).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fpcache"
+	"fpcache/internal/stats"
+)
+
+func main() {
+	workload := fpcache.MapReduce
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	// Baseline traffic anchors the normalized bandwidth column.
+	base, err := fpcache.RunFunctional(fpcache.Config{
+		Workload: workload, Design: fpcache.Baseline, Refs: 400_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseBytes := base.OffChipBytesPerRef()
+
+	fmt.Printf("Design space on %s (functional, %d refs/config)\n\n", workload, 400_000)
+	var t stats.Table
+	t.Header("design", "capacity", "hit ratio", "off-chip traffic vs baseline", "SRAM metadata")
+	for _, design := range []fpcache.DesignKind{fpcache.Block, fpcache.Page, fpcache.Subblock, fpcache.Footprint} {
+		for _, mb := range []int{64, 128, 256, 512} {
+			cfg := fpcache.Config{
+				Workload: workload, Design: design, PaperCapacityMB: mb, Refs: 400_000,
+			}
+			res, err := fpcache.RunFunctional(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d, err := fpcache.NewDesign(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.Row(string(design), fmt.Sprintf("%dMB", mb),
+				stats.Pct(res.Counters.HitRatio()),
+				fmt.Sprintf("%.2fx", res.OffChipBytesPerRef()/baseBytes),
+				fmt.Sprintf("%.2fMB", float64(d.MetadataBits())/8/(1<<20)))
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nReading the table: the block-based design keeps traffic low but hits rarely;")
+	fmt.Println("the page-based design hits constantly but multiplies off-chip traffic;")
+	fmt.Println("Footprint Cache holds the page-based hit ratio at block-based traffic.")
+}

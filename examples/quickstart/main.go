@@ -1,0 +1,48 @@
+// Quickstart: build a Footprint Cache, run the Web Search workload
+// through it, and print the headline metrics — the 30-second tour of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpcache"
+)
+
+func main() {
+	cfg := fpcache.Config{
+		Workload:        fpcache.WebSearch,
+		Design:          fpcache.Footprint,
+		PaperCapacityMB: 256,
+		Refs:            500_000,
+	}
+
+	res, err := fpcache.RunFunctional(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Footprint Cache, %s @ %dMB (paper scale)\n", cfg.Workload, cfg.PaperCapacityMB)
+	fmt.Printf("  references:         %d\n", res.Refs)
+	fmt.Printf("  hit ratio:          %.1f%%\n", 100*res.Counters.HitRatio())
+	fmt.Printf("  off-chip bytes/ref: %.1f (baseline would move 64.0)\n", res.OffChipBytesPerRef())
+	if fp := res.Footprint; fp != nil {
+		fmt.Printf("  predictor coverage: %.1f%%\n", 100*fp.Coverage())
+		fmt.Printf("  overprediction:     %.1f%%\n", 100*fp.Overprediction())
+	}
+
+	// The same config runs in timing mode for performance and energy.
+	timing, err := fpcache.RunTiming(fpcache.Config{
+		Workload:        cfg.Workload,
+		Design:          cfg.Design,
+		PaperCapacityMB: cfg.PaperCapacityMB,
+		Refs:            100_000,
+		WarmupRefs:      200_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  aggregate IPC:      %.2f (16-core pod)\n", timing.AggIPC())
+	fmt.Printf("  avg read latency:   %.0f cycles\n", timing.AvgReadLatency)
+}

@@ -1,0 +1,219 @@
+// Package fpcache is the public API of the Footprint Cache
+// reproduction (Jevdjic, Volos, Falsafi — ISCA 2013, "Die-Stacked
+// DRAM Caches for Servers: Hit Ratio, Latency, or Bandwidth? Have It
+// All with Footprint Cache").
+//
+// It exposes the paper's DRAM cache designs (block-based, page-based,
+// sub-blocked, Footprint, hot-page filter, plus baseline and ideal
+// bounds), calibrated synthetic workloads standing in for CloudSuite
+// 1.0, and the two simulation modes of the paper's methodology:
+// functional runs for miss ratio / traffic / predictor studies and
+// event-driven timing runs for performance and energy.
+//
+// Quick start:
+//
+//	cfg := fpcache.Config{Workload: fpcache.WebSearch, Design: fpcache.Footprint,
+//		PaperCapacityMB: 256, Refs: 2_000_000}
+//	res, err := fpcache.RunFunctional(cfg)
+//	fmt.Println(res.MissRatio())
+package fpcache
+
+import (
+	"fmt"
+
+	"fpcache/internal/dcache"
+	"fpcache/internal/memtrace"
+	"fpcache/internal/synth"
+	"fpcache/internal/system"
+)
+
+// Workload names (the paper's §5.3 evaluation set).
+const (
+	DataServing     = synth.DataServing
+	MapReduce       = synth.MapReduce
+	Multiprogrammed = synth.Multiprogrammed
+	SATSolver       = synth.SATSolver
+	WebFrontend     = synth.WebFrontend
+	WebSearch       = synth.WebSearch
+)
+
+// Workloads returns all workload names in presentation order.
+func Workloads() []string { return synth.Names() }
+
+// DesignKind selects a DRAM cache organization.
+type DesignKind string
+
+// The designs compared in the paper.
+const (
+	// Baseline is the system without a DRAM cache.
+	Baseline DesignKind = "baseline"
+	// Block is the state-of-the-art block-based design (§5.2,
+	// Loh-Hill: tags in DRAM + MissMap).
+	Block DesignKind = "block"
+	// Page is the conventional page-based design (§2.3).
+	Page DesignKind = "page"
+	// Subblock allocates pages but fetches blocks on demand (§3.1's
+	// zero-overprediction bound).
+	Subblock DesignKind = "subblock"
+	// Footprint is the paper's contribution.
+	Footprint DesignKind = "footprint"
+	// FootprintNoSingleton disables the §4.4 capacity optimization
+	// (the §6.5 ablation).
+	FootprintNoSingleton DesignKind = "footprint-nosingleton"
+	// FootprintUnion accumulates FHT feedback with OR instead of the
+	// paper's replace-with-most-recent policy (a design-choice
+	// ablation; see internal/experiments).
+	FootprintUnion DesignKind = "footprint-union"
+	// HotPage is the CHOP-like filter cache of §6.7.
+	HotPage DesignKind = "hotpage"
+	// Ideal never misses and has no tag overhead (§6.3).
+	Ideal DesignKind = "ideal"
+)
+
+// Designs returns the kinds in the paper's comparison order.
+func Designs() []DesignKind {
+	return []DesignKind{Baseline, Block, Page, Subblock, Footprint, FootprintNoSingleton, FootprintUnion, HotPage, Ideal}
+}
+
+// DefaultScale is the capacity scale factor applied to paper-sized
+// caches and datasets (DESIGN.md §2): 64-512MB caches run as 4-32MB
+// with proportionally scaled datasets, preserving miss-ratio shape
+// under the power-law capacity relation the paper itself leans on
+// (§6.5, §7).
+const DefaultScale = 1.0 / 16
+
+// Config describes one simulation.
+type Config struct {
+	// Workload is one of the workload names.
+	Workload string
+	// Design selects the cache organization.
+	Design DesignKind
+	// PaperCapacityMB is the paper-scale stacked capacity (64, 128,
+	// 256, 512). Ignored by Baseline and Ideal.
+	PaperCapacityMB int
+	// Scale overrides DefaultScale when non-zero.
+	Scale float64
+	// PageBytes overrides the 2KB page size (Fig. 8 uses 1/2/4KB).
+	PageBytes int
+	// FHTEntries overrides the 16K-entry FHT (Fig. 9).
+	FHTEntries int
+	// Seed makes runs reproducible; 0 means seed 1.
+	Seed int64
+	// Refs bounds the measured trace length (required; functional
+	// studies use millions, timing studies hundreds of thousands).
+	Refs int
+	// WarmupRefs precede measurement; -1 disables warmup, 0 defaults
+	// to Refs (the paper warms with half of each trace, §5.4).
+	WarmupRefs int
+	// Cores overrides the 16-core pod.
+	Cores int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = DefaultScale
+	}
+	if c.PageBytes == 0 {
+		c.PageBytes = 2048
+	}
+	if c.FHTEntries == 0 {
+		c.FHTEntries = 16 * 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Cores == 0 {
+		c.Cores = 16
+	}
+	if c.PaperCapacityMB == 0 {
+		c.PaperCapacityMB = 256
+	}
+	switch {
+	case c.WarmupRefs < 0:
+		c.WarmupRefs = 0
+	case c.WarmupRefs == 0:
+		c.WarmupRefs = c.Refs
+	}
+	return c
+}
+
+// CapacityBytes returns the scaled capacity in bytes.
+func (c Config) CapacityBytes() int64 {
+	cc := c.withDefaults()
+	return int64(float64(int64(cc.PaperCapacityMB)<<20) * cc.Scale)
+}
+
+// TagLatency returns the paper's Table 4 SRAM lookup latency, in CPU
+// cycles, for a design at a paper-scale capacity. Scaled runs stand
+// in for paper-sized caches, so they pay paper-sized latencies.
+func TagLatency(kind DesignKind, paperMB int) int {
+	return system.TagLatencyFor(string(kind), paperMB)
+}
+
+// NewDesign builds the configured cache design.
+func NewDesign(c Config) (dcache.Design, error) {
+	c = c.withDefaults()
+	return system.BuildDesign(system.DesignSpec{
+		Kind:            string(c.Design),
+		PaperCapacityMB: c.PaperCapacityMB,
+		Scale:           c.Scale,
+		PageBytes:       c.PageBytes,
+		FHTEntries:      c.FHTEntries,
+	})
+}
+
+// NewTrace builds the workload's trace source at the configured
+// scale.
+func NewTrace(c Config) (memtrace.Source, *synth.Profile, error) {
+	c = c.withDefaults()
+	prof, err := synth.ByName(c.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof.Cores = c.Cores
+	gen, err := synth.NewGenerator(prof, c.Seed, c.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := gen.Profile()
+	return gen, &p, nil
+}
+
+// RunFunctional executes a functional simulation.
+func RunFunctional(c Config) (system.FunctionalResult, error) {
+	c = c.withDefaults()
+	if c.Refs <= 0 {
+		return system.FunctionalResult{}, fmt.Errorf("fpcache: Config.Refs must be positive")
+	}
+	d, err := NewDesign(c)
+	if err != nil {
+		return system.FunctionalResult{}, err
+	}
+	src, _, err := NewTrace(c)
+	if err != nil {
+		return system.FunctionalResult{}, err
+	}
+	return system.RunFunctional(d, src, c.WarmupRefs, c.Refs), nil
+}
+
+// RunTiming executes an event-driven timing simulation.
+func RunTiming(c Config) (system.TimingResult, error) {
+	c = c.withDefaults()
+	if c.Refs <= 0 {
+		return system.TimingResult{}, fmt.Errorf("fpcache: Config.Refs must be positive")
+	}
+	d, err := NewDesign(c)
+	if err != nil {
+		return system.TimingResult{}, err
+	}
+	src, prof, err := NewTrace(c)
+	if err != nil {
+		return system.TimingResult{}, err
+	}
+	return system.RunTiming(d, src, system.TimingConfig{
+		Cores:      c.Cores,
+		MLP:        prof.MLP,
+		WarmupRefs: c.WarmupRefs,
+		MaxRefs:    c.Refs,
+	}), nil
+}

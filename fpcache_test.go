@@ -1,0 +1,215 @@
+package fpcache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Workload: WebSearch, Design: Footprint, Refs: 100}
+	cc := c.withDefaults()
+	if cc.Scale != DefaultScale || cc.PageBytes != 2048 || cc.FHTEntries != 16*1024 {
+		t.Fatalf("defaults: %+v", cc)
+	}
+	if cc.WarmupRefs != cc.Refs {
+		t.Fatalf("warmup default = %d, want Refs", cc.WarmupRefs)
+	}
+	if cc.PaperCapacityMB != 256 || cc.Cores != 16 || cc.Seed != 1 {
+		t.Fatalf("defaults: %+v", cc)
+	}
+	c.WarmupRefs = -1
+	if c.withDefaults().WarmupRefs != 0 {
+		t.Fatal("WarmupRefs=-1 should disable warmup")
+	}
+}
+
+func TestCapacityScaling(t *testing.T) {
+	c := Config{PaperCapacityMB: 512}
+	if got := c.CapacityBytes(); got != (512<<20)/16 {
+		t.Fatalf("scaled capacity = %d", got)
+	}
+	c.Scale = 1
+	if got := c.CapacityBytes(); got != 512<<20 {
+		t.Fatalf("full capacity = %d", got)
+	}
+}
+
+func TestWorkloadsAndDesignsRegistries(t *testing.T) {
+	if len(Workloads()) != 6 {
+		t.Fatalf("workloads = %v", Workloads())
+	}
+	if len(Designs()) != 9 {
+		t.Fatalf("designs = %v", Designs())
+	}
+	for _, d := range Designs() {
+		cfg := Config{Workload: WebSearch, Design: d, PaperCapacityMB: 64, Refs: 10}
+		if _, err := NewDesign(cfg); err != nil {
+			t.Fatalf("NewDesign(%s): %v", d, err)
+		}
+	}
+}
+
+func TestErrorsSurfaceCleanly(t *testing.T) {
+	if _, err := RunFunctional(Config{Workload: "nope", Design: Footprint, Refs: 10}); err == nil ||
+		!strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("bad workload error: %v", err)
+	}
+	if _, err := RunFunctional(Config{Workload: WebSearch, Design: "nope", Refs: 10}); err == nil {
+		t.Fatal("bad design accepted")
+	}
+	if _, err := RunFunctional(Config{Workload: WebSearch, Design: Footprint}); err == nil {
+		t.Fatal("missing Refs accepted")
+	}
+	if _, err := RunTiming(Config{Workload: WebSearch, Design: Footprint}); err == nil {
+		t.Fatal("missing Refs accepted in timing mode")
+	}
+}
+
+func TestRunFunctionalDeterministic(t *testing.T) {
+	cfg := Config{Workload: MapReduce, Design: Footprint, PaperCapacityMB: 64,
+		Scale: 1.0 / 64, Refs: 30_000}
+	a, err := RunFunctional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFunctional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters || a.OffChip != b.OffChip {
+		t.Fatal("same config produced different results")
+	}
+	cfg.Seed = 99
+	c, err := RunFunctional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters == c.Counters {
+		t.Fatal("different seeds produced identical counters")
+	}
+}
+
+// TestCalibrationFunctional asserts the paper's central functional
+// results hold in shape (Fig. 5): for every workload at small and
+// large capacity, page <= footprint < block on miss ratio, and
+// footprint's off-chip traffic is far below page's and near block's.
+func TestCalibrationFunctional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep in -short mode")
+	}
+	for _, wl := range []string{WebSearch, MapReduce} {
+		for _, mb := range []int{64, 512} {
+			miss := map[DesignKind]float64{}
+			traffic := map[DesignKind]float64{}
+			for _, d := range []DesignKind{Block, Page, Footprint} {
+				res, err := RunFunctional(Config{
+					Workload: wl, Design: d, PaperCapacityMB: mb,
+					Scale: 1.0 / 32, Refs: 300_000,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				miss[d] = res.MissRatio()
+				traffic[d] = res.OffChipBytesPerRef()
+			}
+			if !(miss[Page] <= miss[Footprint]+0.02 && miss[Footprint] < miss[Block]) {
+				t.Errorf("%s@%dMB miss ordering: page=%.3f fp=%.3f block=%.3f",
+					wl, mb, miss[Page], miss[Footprint], miss[Block])
+			}
+			if !(traffic[Footprint] < traffic[Page]) {
+				t.Errorf("%s@%dMB traffic: fp=%.1f not below page=%.1f",
+					wl, mb, traffic[Footprint], traffic[Page])
+			}
+			// Footprint traffic within ~2x of block's (the "low
+			// off-chip traffic as in block-based" claim).
+			if traffic[Footprint] > 2.2*traffic[Block] {
+				t.Errorf("%s@%dMB fp traffic %.1f far above block %.1f",
+					wl, mb, traffic[Footprint], traffic[Block])
+			}
+		}
+	}
+}
+
+// TestCalibrationTiming asserts the paper's performance ordering
+// (Fig. 6/7) at 256MB: footprint > page and > block and > baseline;
+// ideal tops everything.
+func TestCalibrationTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing calibration in -short mode")
+	}
+	ipc := map[DesignKind]float64{}
+	for _, d := range []DesignKind{Baseline, Block, Page, Footprint, Ideal} {
+		res, err := RunTiming(Config{
+			Workload: MapReduce, Design: d, PaperCapacityMB: 256,
+			Scale: 1.0 / 32, Refs: 60_000, WarmupRefs: 150_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc[d] = res.AggIPC()
+	}
+	if !(ipc[Footprint] > ipc[Page] && ipc[Footprint] > ipc[Block] && ipc[Footprint] > ipc[Baseline]) {
+		t.Errorf("footprint not on top: %v", ipc)
+	}
+	if ipc[Ideal] < ipc[Footprint] {
+		t.Errorf("ideal below footprint: %v", ipc)
+	}
+}
+
+// TestSingletonOptimizationHelps asserts the §6.5 result: disabling
+// the singleton optimization increases the miss rate on the
+// singleton-heavy workload at small capacity.
+func TestSingletonOptimizationHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	run := func(d DesignKind) float64 {
+		res, err := RunFunctional(Config{
+			Workload: MapReduce, Design: d, PaperCapacityMB: 64,
+			Scale: 1.0 / 32, Refs: 300_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MissRatio()
+	}
+	with, without := run(Footprint), run(FootprintNoSingleton)
+	if with >= without {
+		t.Fatalf("singleton opt: with=%.4f without=%.4f", with, without)
+	}
+}
+
+func TestNewTraceRespectsCores(t *testing.T) {
+	src, prof, err := NewTrace(Config{Workload: WebSearch, Cores: 4, Refs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Cores != 4 {
+		t.Fatalf("profile cores = %d", prof.Cores)
+	}
+	for i := 0; i < 1000; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			t.Fatal("generator exhausted")
+		}
+		if rec.Core >= 4 {
+			t.Fatalf("core %d out of range", rec.Core)
+		}
+	}
+}
+
+func TestFootprintStatsExposed(t *testing.T) {
+	res, err := RunFunctional(Config{
+		Workload: WebSearch, Design: Footprint, PaperCapacityMB: 64,
+		Scale: 1.0 / 64, Refs: 50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Footprint == nil {
+		t.Fatal("footprint stats missing")
+	}
+	if cov := res.Footprint.Coverage(); cov <= 0.5 || cov > 1 {
+		t.Fatalf("coverage = %.3f implausible", cov)
+	}
+}

@@ -1,0 +1,121 @@
+// Package core implements the paper's contribution: Footprint Cache —
+// a die-stacked DRAM cache that allocates 1-4KB pages, fetches only
+// each page's predicted footprint of 64B blocks, learns footprints in
+// a PC&offset-indexed Footprint History Table (FHT), and filters
+// singleton pages through a Singleton Table (ST).
+package core
+
+import "math/bits"
+
+// BlockState is the per-block state of a cached page, encoded in two
+// bits exactly as the paper's Table 2. The trick (§4.3): a block
+// cannot be dirty without having been demanded, so the (dirty, valid)
+// pair is reused as a 2-bit state whose high bit doubles as the
+// "demanded" flag — the page's footprint is read out of the existing
+// dirty vector with no extra storage.
+type BlockState uint8
+
+const (
+	// NotPresent: the block is not in the cache (dirty=0, valid=0).
+	NotPresent BlockState = 0b00
+	// CleanPrefetched: valid, clean, not demanded yet (dirty=0,
+	// valid=1) — fetched on the predictor's say-so only.
+	CleanPrefetched BlockState = 0b01
+	// CleanDemanded: valid, clean, was demanded (dirty=1, valid=0 in
+	// the encoding's bit positions).
+	CleanDemanded BlockState = 0b10
+	// DirtyDemanded: valid, dirty, was demanded (dirty=1, valid=1).
+	DirtyDemanded BlockState = 0b11
+)
+
+// String implements fmt.Stringer.
+func (s BlockState) String() string {
+	switch s {
+	case NotPresent:
+		return "not-present"
+	case CleanPrefetched:
+		return "clean-prefetched"
+	case CleanDemanded:
+		return "clean-demanded"
+	case DirtyDemanded:
+		return "dirty-demanded"
+	default:
+		return "invalid"
+	}
+}
+
+// Present reports whether the block is in the cache.
+func (s BlockState) Present() bool { return s != NotPresent }
+
+// Demanded reports whether a core has touched the block (the high,
+// "dirty-position" bit of the encoding).
+func (s BlockState) Demanded() bool { return s&0b10 != 0 }
+
+// Dirty reports whether the block holds modified data that must be
+// written back on eviction.
+func (s BlockState) Dirty() bool { return s == DirtyDemanded }
+
+// PageVectors holds one page's per-block state as the paper's two bit
+// vectors. Bit i of D is block i's high state bit, bit i of V the low
+// bit.
+type PageVectors struct {
+	D, V uint64
+}
+
+// State returns block i's state.
+func (p PageVectors) State(i int) BlockState {
+	return BlockState((p.D>>i&1)<<1 | (p.V >> i & 1))
+}
+
+// setState stores block i's state.
+func (p *PageVectors) setState(i int, s BlockState) {
+	mask := uint64(1) << i
+	p.D &^= mask
+	p.V &^= mask
+	if s&0b10 != 0 {
+		p.D |= mask
+	}
+	if s&0b01 != 0 {
+		p.V |= mask
+	}
+}
+
+// Fill marks every block in bits as CleanPrefetched, the state of
+// predictor-fetched blocks that no core has touched yet. Blocks
+// already demanded are left alone.
+func (p *PageVectors) Fill(bits uint64) {
+	fresh := bits &^ p.PresentMask()
+	p.V |= fresh
+}
+
+// Demand records a core's access to block i (which must be present),
+// applying the Table 2 transitions: clean-prefetched or
+// clean-demanded become dirty-demanded on a write; clean-prefetched
+// becomes clean-demanded on a read.
+func (p *PageVectors) Demand(i int, write bool) {
+	switch s := p.State(i); {
+	case !s.Present():
+		panic("core: Demand on a block that is not present")
+	case write:
+		p.setState(i, DirtyDemanded)
+	case s == CleanPrefetched:
+		p.setState(i, CleanDemanded)
+	}
+}
+
+// PresentMask returns the bitset of blocks in the cache.
+func (p PageVectors) PresentMask() uint64 { return p.D | p.V }
+
+// DemandedMask returns the page's footprint: blocks touched by cores
+// during this residency. This is the vector sent to the FHT on
+// eviction (§4.3).
+func (p PageVectors) DemandedMask() uint64 { return p.D }
+
+// DirtyMask returns blocks needing writeback.
+func (p PageVectors) DirtyMask() uint64 { return p.D & p.V }
+
+// PresentCount returns the number of cached blocks.
+func (p PageVectors) PresentCount() int { return bits.OnesCount64(p.PresentMask()) }
+
+// DemandedCount returns the footprint size.
+func (p PageVectors) DemandedCount() int { return bits.OnesCount64(p.D) }

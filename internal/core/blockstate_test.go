@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTable2Encoding(t *testing.T) {
+	// The paper's Table 2, verbatim.
+	cases := []struct {
+		state    BlockState
+		present  bool
+		demanded bool
+		dirty    bool
+		name     string
+	}{
+		{NotPresent, false, false, false, "not-present"},
+		{CleanPrefetched, true, false, false, "clean-prefetched"},
+		{CleanDemanded, true, true, false, "clean-demanded"},
+		{DirtyDemanded, true, true, true, "dirty-demanded"},
+	}
+	for _, c := range cases {
+		if c.state.Present() != c.present || c.state.Demanded() != c.demanded || c.state.Dirty() != c.dirty {
+			t.Fatalf("%v: present=%v demanded=%v dirty=%v", c.state, c.state.Present(), c.state.Demanded(), c.state.Dirty())
+		}
+		if c.state.String() != c.name {
+			t.Fatalf("String() = %q, want %q", c.state.String(), c.name)
+		}
+	}
+	// A block can never be dirty without being demanded — the
+	// property the encoding exploits (§4.3).
+	for s := BlockState(0); s < 4; s++ {
+		if s.Dirty() && !s.Demanded() {
+			t.Fatalf("state %v dirty but not demanded", s)
+		}
+	}
+}
+
+func TestPageVectorsStateRoundtrip(t *testing.T) {
+	var p PageVectors
+	for i := 0; i < 64; i++ {
+		for _, s := range []BlockState{CleanPrefetched, CleanDemanded, DirtyDemanded, NotPresent} {
+			p.setState(i, s)
+			if got := p.State(i); got != s {
+				t.Fatalf("block %d: set %v, got %v", i, s, got)
+			}
+		}
+	}
+}
+
+func TestFillMarksCleanPrefetched(t *testing.T) {
+	var p PageVectors
+	p.Fill(0b1011)
+	for _, i := range []int{0, 1, 3} {
+		if p.State(i) != CleanPrefetched {
+			t.Fatalf("block %d = %v", i, p.State(i))
+		}
+	}
+	if p.State(2) != NotPresent {
+		t.Fatal("unfilled block present")
+	}
+}
+
+func TestFillDoesNotDowngradeDemanded(t *testing.T) {
+	var p PageVectors
+	p.Fill(1)
+	p.Demand(0, true)
+	p.Fill(1) // refill must not clear the dirty-demanded state
+	if p.State(0) != DirtyDemanded {
+		t.Fatalf("refill downgraded state to %v", p.State(0))
+	}
+}
+
+func TestDemandTransitions(t *testing.T) {
+	var p PageVectors
+	p.Fill(0b111)
+	p.Demand(0, false)
+	if p.State(0) != CleanDemanded {
+		t.Fatalf("read demand: %v", p.State(0))
+	}
+	p.Demand(1, true)
+	if p.State(1) != DirtyDemanded {
+		t.Fatalf("write demand: %v", p.State(1))
+	}
+	p.Demand(0, true) // read-then-write upgrades
+	if p.State(0) != DirtyDemanded {
+		t.Fatalf("upgrade: %v", p.State(0))
+	}
+	p.Demand(1, false) // write-then-read stays dirty
+	if p.State(1) != DirtyDemanded {
+		t.Fatalf("dirty read downgraded: %v", p.State(1))
+	}
+}
+
+func TestDemandPanicsOnAbsentBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Demand on absent block did not panic")
+		}
+	}()
+	var p PageVectors
+	p.Demand(5, false)
+}
+
+func TestMaskAccessors(t *testing.T) {
+	var p PageVectors
+	p.Fill(0b11110)
+	p.Demand(1, false)
+	p.Demand(2, true)
+	if p.PresentMask() != 0b11110 {
+		t.Fatalf("present = %b", p.PresentMask())
+	}
+	if p.DemandedMask() != 0b00110 {
+		t.Fatalf("demanded = %b", p.DemandedMask())
+	}
+	if p.DirtyMask() != 0b00100 {
+		t.Fatalf("dirty = %b", p.DirtyMask())
+	}
+	if p.PresentCount() != 4 || p.DemandedCount() != 2 {
+		t.Fatalf("counts: %d %d", p.PresentCount(), p.DemandedCount())
+	}
+}
+
+// Property: under any sequence of fills and demands,
+// dirty ⊆ demanded ⊆ present (the Table 2 invariant chain).
+func TestPropertyStateInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var p PageVectors
+		for _, op := range ops {
+			block := int(op % 64)
+			switch (op >> 6) % 3 {
+			case 0:
+				p.Fill(1 << block)
+			case 1, 2:
+				if p.State(block).Present() {
+					p.Demand(block, (op>>8)%2 == 0)
+				}
+			}
+			d, dm, pr := p.DirtyMask(), p.DemandedMask(), p.PresentMask()
+			if d&^dm != 0 || dm&^pr != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

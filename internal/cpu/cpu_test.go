@@ -1,0 +1,133 @@
+package cpu
+
+import (
+	"testing"
+
+	"fpcache/internal/memtrace"
+	"fpcache/internal/sim"
+)
+
+// fixedTrace returns a pull function over the given records.
+func fixedTrace(recs []memtrace.Record) func() (memtrace.Record, bool) {
+	i := 0
+	return func() (memtrace.Record, bool) {
+		if i >= len(recs) {
+			return memtrace.Record{}, false
+		}
+		r := recs[i]
+		i++
+		return r, true
+	}
+}
+
+func TestCoreExecutesGapsAndIssues(t *testing.T) {
+	eng := &sim.Engine{}
+	recs := []memtrace.Record{
+		{Addr: 0, Gap: 10},
+		{Addr: 64, Gap: 20},
+	}
+	var issued []sim.Cycle
+	// Memory responds instantly.
+	issue := func(rec memtrace.Record, done func()) {
+		issued = append(issued, eng.Now())
+		done()
+	}
+	c := New(0, 2, eng, fixedTrace(recs), issue)
+	c.Start()
+	eng.Run(nil)
+	if !c.Finished() {
+		t.Fatal("core did not finish")
+	}
+	if c.Instructions != 10+1+20+1 {
+		t.Fatalf("instructions = %d", c.Instructions)
+	}
+	if len(issued) != 2 {
+		t.Fatalf("issued %d requests", len(issued))
+	}
+	if issued[0] != 10 || issued[1] != 30 {
+		t.Fatalf("issue times = %v, want [10 30]", issued)
+	}
+}
+
+func TestCoreMLPBoundsOutstandingReads(t *testing.T) {
+	eng := &sim.Engine{}
+	const mlp = 2
+	var recs []memtrace.Record
+	for i := 0; i < 8; i++ {
+		recs = append(recs, memtrace.Record{Addr: memtrace.Addr(i * 64), Gap: 1})
+	}
+	outstanding, peak := 0, 0
+	issue := func(rec memtrace.Record, done func()) {
+		outstanding++
+		if outstanding > peak {
+			peak = outstanding
+		}
+		// Slow memory: respond after 100 cycles.
+		eng.After(100, func() {
+			outstanding--
+			done()
+		})
+	}
+	c := New(0, mlp, eng, fixedTrace(recs), issue)
+	c.Start()
+	eng.Run(nil)
+	if peak > mlp {
+		t.Fatalf("peak outstanding %d exceeds MLP %d", peak, mlp)
+	}
+	if c.StallCycles == 0 {
+		t.Fatal("no stalls despite slow memory and small window")
+	}
+	if !c.Finished() {
+		t.Fatal("core did not finish")
+	}
+}
+
+func TestCoreWritesArePosted(t *testing.T) {
+	eng := &sim.Engine{}
+	var recs []memtrace.Record
+	for i := 0; i < 8; i++ {
+		recs = append(recs, memtrace.Record{Addr: memtrace.Addr(i * 64), Gap: 1, Write: true})
+	}
+	issued := 0
+	issue := func(rec memtrace.Record, done func()) {
+		issued++
+		// Never call done for writes beyond the immediate ack: the
+		// core shouldn't care.
+		done()
+	}
+	c := New(0, 1, eng, fixedTrace(recs), issue)
+	c.Start()
+	eng.Run(nil)
+	if issued != 8 {
+		t.Fatalf("issued %d writes", issued)
+	}
+	if c.StallCycles != 0 {
+		t.Fatalf("writes stalled the core: %d cycles", c.StallCycles)
+	}
+}
+
+func TestCoreMinimumMLP(t *testing.T) {
+	eng := &sim.Engine{}
+	c := New(0, 0, eng, fixedTrace(nil), func(memtrace.Record, func()) {})
+	if c.mlp != 1 {
+		t.Fatalf("mlp clamped to %d, want 1", c.mlp)
+	}
+}
+
+func TestCoreDoubleCompletionPanics(t *testing.T) {
+	eng := &sim.Engine{}
+	var doneFn func()
+	issue := func(rec memtrace.Record, done func()) { doneFn = done }
+	c := New(0, 2, eng, fixedTrace([]memtrace.Record{{Gap: 1}}), issue)
+	c.Start()
+	eng.Run(nil)
+	doneFn()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double completion did not panic")
+		}
+	}()
+	doneFn()
+	eng.Run(nil)
+	c.onComplete()
+}

@@ -1,0 +1,134 @@
+package dcache
+
+import (
+	"sort"
+
+	"fpcache/internal/memtrace"
+	"fpcache/internal/sram"
+)
+
+// HotPageCache models the CHOP-style filter cache the paper evaluates
+// in §6.7: only pages predicted to be "hot" (frequently accessed) are
+// allocated and fetched at page granularity; everything else bypasses
+// the cache one block at a time. Hotness is learned from each page's
+// own access history in a small filter table — which is exactly what
+// fails on scale-out datasets that are too vast to revisit (§6.7).
+type HotPageCache struct {
+	inner  *PageCache
+	filter *sram.SetAssoc[uint32]
+	fSets  int
+	thresh uint32
+	ctr    Counters
+}
+
+// HotPageConfig configures the design. The paper found 4KB pages
+// optimal for CHOP.
+type HotPageConfig struct {
+	Geometry      PageGeometry
+	TagCycles     int
+	FilterEntries int
+	FilterWays    int
+	// Threshold is the access count at which a page becomes hot.
+	Threshold uint32
+}
+
+// NewHotPageCache builds the design.
+func NewHotPageCache(cfg HotPageConfig) (*HotPageCache, error) {
+	inner, err := NewPageCache(PageCacheConfig{Geometry: cfg.Geometry, TagCycles: cfg.TagCycles})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FilterEntries <= 0 || cfg.FilterWays <= 0 || cfg.FilterEntries%cfg.FilterWays != 0 {
+		cfg.FilterEntries, cfg.FilterWays = 64*1024, 16
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 8
+	}
+	return &HotPageCache{
+		inner:  inner,
+		filter: sram.NewSetAssoc[uint32](cfg.FilterEntries/cfg.FilterWays, cfg.FilterWays),
+		fSets:  cfg.FilterEntries / cfg.FilterWays,
+		thresh: cfg.Threshold,
+	}, nil
+}
+
+// Name implements Design.
+func (h *HotPageCache) Name() string { return "hotpage" }
+
+// Counters implements Design.
+func (h *HotPageCache) Counters() Counters { return h.ctr }
+
+// MetadataBits implements Design: inner tags plus filter counters.
+func (h *HotPageCache) MetadataBits() int64 {
+	entries := int64(h.filter.Sets() * h.filter.Ways())
+	return h.inner.MetadataBits() + entries*(28+8)
+}
+
+// Access implements Design.
+func (h *HotPageCache) Access(rec memtrace.Record) Outcome {
+	h.ctr.record(rec)
+	pageIdx, _ := pageAddrOf(rec.Addr, h.inner.geom.PageBytes)
+	set := int(pageIdx % uint64(h.inner.sets))
+	tag := pageIdx / uint64(h.inner.sets)
+
+	if h.inner.tags.Peek(set, tag) != nil {
+		// Resident page: delegate (counts as hit inside inner).
+		out := h.inner.Access(rec)
+		h.ctr.Hits++
+		return out
+	}
+
+	// Cold page: count it in the filter; allocate only when hot.
+	fSet := int(pageIdx % uint64(h.fSets))
+	fTag := pageIdx / uint64(h.fSets)
+	e := h.filter.Lookup(fSet, fTag)
+	if e == nil {
+		h.filter.Insert(fSet, fTag, 1)
+	} else {
+		e.Value++
+	}
+	h.ctr.Misses++
+	if e != nil && e.Value >= h.thresh {
+		// Hot: allocate through the page cache (it will fetch the
+		// whole page).
+		out := h.inner.Access(rec)
+		out.Hit = false
+		return out
+	}
+	h.ctr.Bypasses++
+	return Outcome{
+		Bypass:    true,
+		TagCycles: h.inner.tagCycles,
+		Ops: []Op{{
+			Level: OffChip, Addr: rec.Addr, Bytes: 64,
+			Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
+		}},
+	}
+}
+
+// CoverageCurve computes Figure 12's offline analysis: given
+// per-page access counts, the minimum ideal cache size (in bytes,
+// pageBytes pages) needed to capture each fraction of total accesses,
+// assuming a perfect predictor and ideal replacement (§6.7).
+func CoverageCurve(counts map[uint64]uint64, pageBytes int, fractions []float64) []int64 {
+	tot := uint64(0)
+	sorted := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		sorted = append(sorted, c)
+		tot += c
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+
+	out := make([]int64, len(fractions))
+	cum := uint64(0)
+	pageN := 0
+	for i, f := range fractions {
+		want := uint64(f * float64(tot))
+		for cum < want && pageN < len(sorted) {
+			cum += sorted[pageN]
+			pageN++
+		}
+		out[i] = int64(pageN) * int64(pageBytes)
+	}
+	return out
+}

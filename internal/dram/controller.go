@@ -1,0 +1,251 @@
+package dram
+
+import (
+	"fpcache/internal/memtrace"
+	"fpcache/internal/sim"
+)
+
+// Request is one DRAM transaction submitted to a Controller. Bytes is
+// the payload size (multiple of 64); transfers larger than 64B are
+// streamed from consecutive addresses on (usually) one row. Done is
+// called when the last data beat completes.
+type Request struct {
+	Addr  memtrace.Addr
+	Bytes int
+	Write bool
+	Done  func(at sim.Cycle)
+
+	arrived sim.Cycle
+}
+
+// Controller is the event-driven timing model of one DRAM subsystem.
+// Each channel has an in-order arrival queue scheduled FR-FCFS: ready
+// row hits bypass older row misses, which is the scheduling the paper
+// assumes for both DRAM instances.
+type Controller struct {
+	eng  *sim.Engine
+	cfg  Config
+	chns []*channelState
+
+	Stats Stats
+	// LatencySum / LatencyCount accumulate request latencies (arrival
+	// to completion) for average-latency reporting.
+	LatencySum   uint64
+	LatencyCount uint64
+}
+
+type channelState struct {
+	banks      []bankState
+	busFreeAt  sim.Cycle
+	queue      []*Request
+	pumpArmed  bool
+	actTimes   [4]sim.Cycle // ring of last 4 activate times (tFAW)
+	actIdx     int
+	lastActAt  sim.Cycle // for tRRD
+	everActive bool
+}
+
+type bankState struct {
+	openRow  int64
+	readyAt  sim.Cycle // earliest next command issue
+	rasUntil sim.Cycle // activate + tRAS: earliest precharge
+}
+
+// NewController builds a timing model attached to the given engine.
+func NewController(eng *sim.Engine, cfg Config) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Controller{eng: eng, cfg: cfg}
+	for i := 0; i < cfg.Channels; i++ {
+		ch := &channelState{banks: make([]bankState, cfg.BanksPerChan)}
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		c.chns = append(c.chns, ch)
+	}
+	return c
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// QueueDepth returns the number of requests waiting or in flight on
+// all channels.
+func (c *Controller) QueueDepth() int {
+	n := 0
+	for _, ch := range c.chns {
+		n += len(ch.queue)
+	}
+	return n
+}
+
+// Submit enqueues a request. Done fires on completion.
+func (c *Controller) Submit(req *Request) {
+	req.arrived = c.eng.Now()
+	loc := c.cfg.Decode(req.Addr)
+	ch := c.chns[loc.Channel]
+	ch.queue = append(ch.queue, req)
+	c.pump(loc.Channel)
+}
+
+// pump tries to issue the next request on a channel; if nothing can
+// issue yet it arms a wakeup at the earliest time something could.
+func (c *Controller) pump(chIdx int) {
+	ch := c.chns[chIdx]
+	if ch.pumpArmed {
+		return
+	}
+	c.issueReady(chIdx)
+}
+
+func (c *Controller) issueReady(chIdx int) {
+	ch := c.chns[chIdx]
+	for len(ch.queue) > 0 {
+		now := c.eng.Now()
+		pick := c.pickFRFCFS(ch)
+		req := ch.queue[pick]
+		start, ok := c.earliestStart(ch, req)
+		if !ok || start > now {
+			// Nothing issuable this cycle: wake up at the earliest
+			// possible issue time of the picked request.
+			if !ok {
+				start = now + 1
+			}
+			ch.pumpArmed = true
+			c.eng.Schedule(start, func() {
+				ch.pumpArmed = false
+				c.issueReady(chIdx)
+			})
+			return
+		}
+		ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
+		c.execute(chIdx, req)
+	}
+}
+
+// pickFRFCFS returns the index of the request to issue next: the
+// oldest request whose row is already open, else the oldest request.
+func (c *Controller) pickFRFCFS(ch *channelState) int {
+	for i, r := range ch.queue {
+		loc := c.cfg.Decode(r.Addr)
+		if ch.banks[loc.Bank].openRow == loc.Row {
+			return i
+		}
+	}
+	return 0
+}
+
+// earliestStart computes the earliest cycle the request's first
+// command could issue, honoring bank readiness and activate windows.
+func (c *Controller) earliestStart(ch *channelState, req *Request) (sim.Cycle, bool) {
+	loc := c.cfg.Decode(req.Addr)
+	b := &ch.banks[loc.Bank]
+	start := c.eng.Now()
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+	needsActivate := b.openRow != loc.Row
+	if needsActivate {
+		// tRRD from last activate on this channel.
+		if ch.everActive {
+			rrd := ch.lastActAt + sim.Cycle(c.cfg.cpuCycles(c.cfg.Timing.TRRD))
+			if rrd > start {
+				start = rrd
+			}
+			// tFAW: four-activate window.
+			faw := ch.actTimes[ch.actIdx] + sim.Cycle(c.cfg.cpuCycles(c.cfg.Timing.TFAW))
+			if faw > start {
+				start = faw
+			}
+		}
+		if b.openRow >= 0 && b.rasUntil > start {
+			start = b.rasUntil // must satisfy tRAS before precharging
+		}
+	}
+	return start, true
+}
+
+// execute issues the request at its earliest start, updating bank and
+// bus state and scheduling completion.
+func (c *Controller) execute(chIdx int, req *Request) {
+	ch := c.chns[chIdx]
+	loc := c.cfg.Decode(req.Addr)
+	b := &ch.banks[loc.Bank]
+	start, _ := c.earliestStart(ch, req)
+
+	tm := c.cfg.Timing
+	var colReady sim.Cycle // when the first CAS can issue
+	switch {
+	case b.openRow == loc.Row:
+		c.Stats.RowHits++
+		colReady = start
+	case b.openRow < 0:
+		c.Stats.RowMisses++
+		c.Stats.Activates++
+		c.noteActivate(ch, start)
+		b.rasUntil = start + sim.Cycle(c.cfg.cpuCycles(tm.TRAS))
+		colReady = start + sim.Cycle(c.cfg.cpuCycles(tm.TRCD))
+	default:
+		c.Stats.RowConflict++
+		c.Stats.Activates++
+		actAt := start + sim.Cycle(c.cfg.cpuCycles(tm.TRP))
+		c.noteActivate(ch, actAt)
+		b.rasUntil = actAt + sim.Cycle(c.cfg.cpuCycles(tm.TRAS))
+		colReady = actAt + sim.Cycle(c.cfg.cpuCycles(tm.TRCD))
+	}
+	b.openRow = loc.Row
+
+	// Data transfer: CAS latency, then the bus streams the payload.
+	bursts := (req.Bytes + 63) / 64
+	if bursts == 0 {
+		bursts = 1
+	}
+	dataStart := colReady + sim.Cycle(c.cfg.cpuCycles(tm.TCAS))
+	if ch.busFreeAt > dataStart {
+		dataStart = ch.busFreeAt
+	}
+	dataEnd := dataStart + sim.Cycle(uint64(bursts)*c.cfg.BurstCPUCycles(64))
+	ch.busFreeAt = dataEnd
+
+	if req.Write {
+		c.Stats.WriteBursts += uint64(bursts)
+		b.readyAt = dataEnd + sim.Cycle(c.cfg.cpuCycles(tm.TWR))
+	} else {
+		c.Stats.ReadBursts += uint64(bursts)
+		b.readyAt = dataEnd
+	}
+	if c.cfg.Policy == ClosePage {
+		// Auto-precharge after the access; the next access pays tRCD
+		// only. Precharge time folds into bank readiness.
+		closeAt := b.readyAt
+		if b.rasUntil > closeAt {
+			closeAt = b.rasUntil
+		}
+		b.readyAt = closeAt + sim.Cycle(c.cfg.cpuCycles(tm.TRP))
+		b.openRow = -1
+	}
+
+	done := req.Done
+	latency := uint64(dataEnd - req.arrived)
+	c.LatencySum += latency
+	c.LatencyCount++
+	if done != nil {
+		c.eng.Schedule(dataEnd, func() { done(dataEnd) })
+	}
+}
+
+func (c *Controller) noteActivate(ch *channelState, at sim.Cycle) {
+	ch.actTimes[ch.actIdx] = at
+	ch.actIdx = (ch.actIdx + 1) % len(ch.actTimes)
+	ch.lastActAt = at
+	ch.everActive = true
+}
+
+// AvgLatency returns the mean request latency in CPU cycles.
+func (c *Controller) AvgLatency() float64 {
+	if c.LatencyCount == 0 {
+		return 0
+	}
+	return float64(c.LatencySum) / float64(c.LatencyCount)
+}

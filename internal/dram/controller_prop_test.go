@@ -1,0 +1,147 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpcache/internal/memtrace"
+	"fpcache/internal/sim"
+)
+
+// Property: under arbitrary request streams, every request completes,
+// completions never precede submissions, and the controller's burst
+// accounting conserves the submitted payload exactly.
+func TestPropertyControllerConservation(t *testing.T) {
+	f := func(seed int64, nRaw uint8, closePage bool) bool {
+		n := int(nRaw%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		cfg := StackedDDR3_3200()
+		if closePage {
+			cfg.Policy = ClosePage
+		}
+		eng := &sim.Engine{}
+		c := NewController(eng, cfg)
+
+		type rec struct {
+			submit sim.Cycle
+			finish sim.Cycle
+			done   bool
+		}
+		recs := make([]rec, n)
+		var wantReads, wantWrites uint64
+		for i := 0; i < n; i++ {
+			i := i
+			bursts := 1 + rng.Intn(32)
+			write := rng.Intn(3) == 0
+			if write {
+				wantWrites += uint64(bursts)
+			} else {
+				wantReads += uint64(bursts)
+			}
+			recs[i].submit = eng.Now()
+			c.Submit(&Request{
+				Addr:  memtrace.Addr(rng.Intn(1<<18) * 64),
+				Bytes: bursts * 64,
+				Write: write,
+				Done: func(at sim.Cycle) {
+					recs[i].finish = at
+					recs[i].done = true
+				},
+			})
+		}
+		eng.Run(nil)
+		for i := range recs {
+			if !recs[i].done || recs[i].finish < recs[i].submit {
+				return false
+			}
+		}
+		return c.Stats.ReadBursts == wantReads && c.Stats.WriteBursts == wantWrites &&
+			c.QueueDepth() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the functional tracker and the timing controller agree on
+// total burst counts for identical access sequences (activates may
+// differ: FR-FCFS reorders requests and changes row-hit patterns, but
+// payload is payload).
+func TestPropertyTrackerControllerBurstAgreement(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		cfg := OffChipDDR3_1600()
+		rng := rand.New(rand.NewSource(seed))
+
+		type op struct {
+			addr  memtrace.Addr
+			bytes int
+			write bool
+		}
+		ops := make([]op, n)
+		for i := range ops {
+			ops[i] = op{
+				addr:  memtrace.Addr(rng.Intn(1<<16) * 64),
+				bytes: (1 + rng.Intn(8)) * 64,
+				write: rng.Intn(4) == 0,
+			}
+		}
+
+		tr := NewTracker(cfg)
+		for _, o := range ops {
+			tr.Access(o.addr, o.bytes, o.write)
+		}
+
+		eng := &sim.Engine{}
+		ctrl := NewController(eng, cfg)
+		for _, o := range ops {
+			ctrl.Submit(&Request{Addr: o.addr, Bytes: o.bytes, Write: o.write})
+		}
+		eng.Run(nil)
+
+		return tr.Stats.ReadBursts == ctrl.Stats.ReadBursts &&
+			tr.Stats.WriteBursts == ctrl.Stats.WriteBursts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: close-page policy never reports row hits across requests,
+// and open-page activates never exceed accesses.
+func TestPropertyRowPolicyInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%150) + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		closed := StackedDDR3_3200()
+		closed.Policy = ClosePage
+		open := StackedDDR3_3200()
+		open.Policy = OpenPage
+
+		engC := &sim.Engine{}
+		ctrlC := NewController(engC, closed)
+		engO := &sim.Engine{}
+		ctrlO := NewController(engO, open)
+
+		for i := 0; i < n; i++ {
+			addr := memtrace.Addr(rng.Intn(1<<14) * 64)
+			ctrlC.Submit(&Request{Addr: addr, Bytes: 64})
+			ctrlO.Submit(&Request{Addr: addr, Bytes: 64})
+		}
+		engC.Run(nil)
+		engO.Run(nil)
+
+		if ctrlC.Stats.RowHits != 0 {
+			return false // close-page closed the row after each access
+		}
+		if ctrlC.Stats.Activates != uint64(n) {
+			return false // every close-page access activates once
+		}
+		return ctrlO.Stats.Activates <= uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

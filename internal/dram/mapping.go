@@ -1,0 +1,43 @@
+package dram
+
+import "fpcache/internal/memtrace"
+
+// Location identifies where an address lands in the DRAM subsystem.
+type Location struct {
+	Channel int
+	Bank    int
+	Row     int64
+}
+
+// Decode maps a physical address to its channel, bank, and row using
+// the configured channel interleaving: consecutive InterleaveBytes
+// chunks rotate across channels; within a channel, consecutive rows
+// rotate across banks.
+func (c Config) Decode(addr memtrace.Addr) Location {
+	a := uint64(addr)
+	chunk := a / uint64(c.InterleaveBytes)
+	ch := int(chunk % uint64(c.Channels))
+	inChan := (chunk/uint64(c.Channels))*uint64(c.InterleaveBytes) + a%uint64(c.InterleaveBytes)
+	rowIdx := inChan / uint64(c.RowBytes)
+	return Location{
+		Channel: ch,
+		Bank:    int(rowIdx % uint64(c.BanksPerChan)),
+		Row:     int64(rowIdx / uint64(c.BanksPerChan)),
+	}
+}
+
+// RowSpan reports how many distinct rows the byte range [addr,
+// addr+bytes) touches within its channel mapping. With page
+// interleaving and page <= row size this is 1 for a page transfer —
+// the property the paper's designs exploit (§2.3).
+func (c Config) RowSpan(addr memtrace.Addr, bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	seen := make(map[Location]struct{})
+	for off := 0; off < bytes; off += 64 {
+		loc := c.Decode(addr + memtrace.Addr(off))
+		seen[loc] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,201 @@
+// Package dram models DRAM devices: DDR3 timing, bank and row-buffer
+// state, open- and close-page policies, FR-FCFS scheduling, address
+// interleaving across channels, and per-operation energy counters.
+//
+// Two instances are used per simulated pod, mirroring the paper's
+// methodology (§5.4, two separately configured DRAMSim2 instances):
+// an off-chip DDR3-1600 channel and a 4-channel die-stacked DDR3-3200
+// with 128-bit TSV buses.
+package dram
+
+import "fmt"
+
+// Timing holds DDR timing constraints in DRAM bus cycles, as listed in
+// the paper's Table 3 (identical for the stacked and off-chip parts;
+// the stacked part's advantage is clock rate, channel count, and bus
+// width).
+type Timing struct {
+	TCAS int // column access strobe latency
+	TRCD int // row-to-column delay
+	TRP  int // row precharge
+	TRAS int // row access strobe (activate to precharge)
+	TRC  int // row cycle (activate to activate, same bank)
+	TWR  int // write recovery
+	TWTR int // write-to-read turnaround
+	TRTP int // read-to-precharge
+	TRRD int // activate-to-activate, different banks
+	TFAW int // four-activate window
+}
+
+// Table3Timing returns the timing parameters of the paper's Table 3.
+func Table3Timing() Timing {
+	return Timing{
+		TCAS: 11, TRCD: 11, TRP: 11, TRAS: 28,
+		TRC: 39, TWR: 12, TWTR: 6, TRTP: 6,
+		TRRD: 5, TFAW: 24,
+	}
+}
+
+// RowPolicy selects the row-buffer management policy.
+type RowPolicy int
+
+const (
+	// OpenPage leaves a row open after an access, betting on row
+	// locality (used by the page-based and Footprint designs, §5.2).
+	OpenPage RowPolicy = iota
+	// ClosePage precharges immediately after each access (used by the
+	// block-based design, which has no data locality, §5.2).
+	ClosePage
+)
+
+// String implements fmt.Stringer.
+func (p RowPolicy) String() string {
+	switch p {
+	case OpenPage:
+		return "open-page"
+	case ClosePage:
+		return "close-page"
+	default:
+		return fmt.Sprintf("RowPolicy(%d)", int(p))
+	}
+}
+
+// Config describes one DRAM subsystem (all channels identical).
+type Config struct {
+	Name          string
+	Timing        Timing
+	Channels      int
+	BanksPerChan  int
+	RowBytes      int // row-buffer size (2KB in Table 3)
+	BusBytesPerCy int // data-bus bytes per bus cycle (DDR: 2 beats/cycle x width)
+	CPUPerBusCy   float64
+	Policy        RowPolicy
+	// InterleaveBytes is the channel-interleaving granularity: 64B for
+	// the block-based design, 2KB for page-based and Footprint (§5.2).
+	InterleaveBytes int
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Channels <= 0 || c.BanksPerChan <= 0 {
+		return fmt.Errorf("dram %s: need positive channels/banks, got %d/%d", c.Name, c.Channels, c.BanksPerChan)
+	}
+	if c.RowBytes <= 0 || c.RowBytes&(c.RowBytes-1) != 0 {
+		return fmt.Errorf("dram %s: row size %d must be a power of two", c.Name, c.RowBytes)
+	}
+	if c.InterleaveBytes <= 0 || c.InterleaveBytes&(c.InterleaveBytes-1) != 0 {
+		return fmt.Errorf("dram %s: interleave %d must be a power of two", c.Name, c.InterleaveBytes)
+	}
+	if c.BusBytesPerCy <= 0 {
+		return fmt.Errorf("dram %s: bus bytes/cycle must be positive", c.Name)
+	}
+	if c.CPUPerBusCy <= 0 {
+		return fmt.Errorf("dram %s: CPU/bus clock ratio must be positive", c.Name)
+	}
+	return nil
+}
+
+// cpuCycles converts bus cycles to CPU cycles, rounding up.
+func (c Config) cpuCycles(bus int) uint64 {
+	v := float64(bus) * c.CPUPerBusCy
+	u := uint64(v)
+	if float64(u) < v {
+		u++
+	}
+	return u
+}
+
+// BurstCPUCycles returns the CPU cycles the data bus is occupied
+// transferring n bytes.
+func (c Config) BurstCPUCycles(n int) uint64 {
+	bus := (n + c.BusBytesPerCy - 1) / c.BusBytesPerCy
+	if bus == 0 {
+		bus = 1
+	}
+	return c.cpuCycles(bus)
+}
+
+const cpuGHz = 3.0 // Table 3: 3GHz cores
+
+// OffChipDDR3_1600 returns the paper's off-chip memory configuration:
+// one DDR3-1600 channel per pod, 8 banks, 2KB rows, 64-bit bus
+// (12.8GB/s). The interleave and policy default to the Footprint/page
+// setting (2KB, open-page); block-based runs override both (§5.2).
+func OffChipDDR3_1600() Config {
+	return Config{
+		Name:            "offchip-ddr3-1600",
+		Timing:          Table3Timing(),
+		Channels:        1,
+		BanksPerChan:    8,
+		RowBytes:        2048,
+		BusBytesPerCy:   16, // 64-bit DDR: 2 x 8B per bus cycle
+		CPUPerBusCy:     cpuGHz * 1000 / 800,
+		Policy:          OpenPage,
+		InterleaveBytes: 2048,
+	}
+}
+
+// StackedDDR3_3200 returns the paper's die-stacked configuration: 4
+// channels per pod, 8 banks each, 2KB rows, 128-bit TSV buses at
+// 1.6GHz (Table 3).
+func StackedDDR3_3200() Config {
+	return Config{
+		Name:            "stacked-ddr3-3200",
+		Timing:          Table3Timing(),
+		Channels:        4,
+		BanksPerChan:    8,
+		RowBytes:        2048,
+		BusBytesPerCy:   32, // 128-bit DDR: 2 x 16B per bus cycle
+		CPUPerBusCy:     cpuGHz * 1000 / 1600,
+		Policy:          OpenPage,
+		InterleaveBytes: 2048,
+	}
+}
+
+// Stats counts DRAM operations for bandwidth and energy accounting.
+// Reads and writes are in 64-byte burst units.
+type Stats struct {
+	Activates   uint64
+	ReadBursts  uint64
+	WriteBursts uint64
+	RowHits     uint64
+	RowMisses   uint64 // closed-row activates
+	RowConflict uint64 // open-row conflicts (precharge first)
+}
+
+// Accesses returns the total number of row-buffer access decisions.
+func (s Stats) Accesses() uint64 { return s.RowHits + s.RowMisses + s.RowConflict }
+
+// RowHitRatio returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRatio() float64 {
+	t := s.Accesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+// DataBytes returns the total data moved, in bytes.
+func (s Stats) DataBytes() uint64 { return (s.ReadBursts + s.WriteBursts) * 64 }
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Activates += o.Activates
+	s.ReadBursts += o.ReadBursts
+	s.WriteBursts += o.WriteBursts
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.RowConflict += o.RowConflict
+}
+
+// Sub returns s minus o, used to exclude warmup from measurements.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Activates:   s.Activates - o.Activates,
+		ReadBursts:  s.ReadBursts - o.ReadBursts,
+		WriteBursts: s.WriteBursts - o.WriteBursts,
+		RowHits:     s.RowHits - o.RowHits,
+		RowMisses:   s.RowMisses - o.RowMisses,
+		RowConflict: s.RowConflict - o.RowConflict,
+	}
+}

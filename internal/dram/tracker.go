@@ -1,0 +1,80 @@
+package dram
+
+import "fpcache/internal/memtrace"
+
+// Tracker is the functional (untimed) DRAM model: it follows
+// row-buffer state across accesses so functional simulations can
+// account activates, bursts, and row-hit ratios — the inputs to the
+// energy model — without running the event-driven timing simulator.
+type Tracker struct {
+	cfg      Config
+	openRows [][]int64 // [channel][bank] open row, -1 = closed
+	Stats    Stats
+}
+
+// NewTracker builds a functional model for cfg.
+func NewTracker(cfg Config) *Tracker {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Tracker{cfg: cfg}
+	t.openRows = make([][]int64, cfg.Channels)
+	for ch := range t.openRows {
+		rows := make([]int64, cfg.BanksPerChan)
+		for b := range rows {
+			rows[b] = -1
+		}
+		t.openRows[ch] = rows
+	}
+	return t
+}
+
+// Config returns the model's configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Access models a transfer of the given size starting at addr,
+// updating row-buffer state and stats. Multi-block transfers touch
+// consecutive 64B blocks; blocks on the same open row share one
+// activation (this is what makes page fills/evictions cheap on
+// open-page systems, §2.3).
+func (t *Tracker) Access(addr memtrace.Addr, bytes int, write bool) {
+	for off := 0; off < bytes; off += 64 {
+		t.accessBlock(addr+memtrace.Addr(off), write)
+	}
+}
+
+// AccessBlocks models a transfer of a sparse set of 64B blocks within
+// a region starting at base: exactly the shape of a footprint fetch.
+// bits' set positions select blocks (bit i -> base + 64*i).
+func (t *Tracker) AccessBlocks(base memtrace.Addr, bits uint64, write bool) {
+	for i := 0; bits != 0; i, bits = i+1, bits>>1 {
+		if bits&1 != 0 {
+			t.accessBlock(base+memtrace.Addr(i*64), write)
+		}
+	}
+}
+
+func (t *Tracker) accessBlock(addr memtrace.Addr, write bool) {
+	loc := t.cfg.Decode(addr)
+	open := &t.openRows[loc.Channel][loc.Bank]
+	switch {
+	case *open == loc.Row:
+		t.Stats.RowHits++
+	case *open < 0:
+		t.Stats.RowMisses++
+		t.Stats.Activates++
+	default:
+		t.Stats.RowConflict++
+		t.Stats.Activates++
+	}
+	if t.cfg.Policy == ClosePage {
+		*open = -1
+	} else {
+		*open = loc.Row
+	}
+	if write {
+		t.Stats.WriteBursts++
+	} else {
+		t.Stats.ReadBursts++
+	}
+}

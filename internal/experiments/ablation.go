@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpcache/internal/stats"
+	"fpcache/internal/system"
+)
+
+// SingletonRow is one (workload, capacity) point of the §6.5
+// ablation: miss ratio with and without the singleton-page capacity
+// optimization.
+type SingletonRow struct {
+	Workload    string
+	CapacityMB  int
+	MissWith    float64
+	MissWithout float64
+}
+
+// Reduction is the relative miss-rate reduction the optimization
+// buys.
+func (r SingletonRow) Reduction() float64 {
+	if r.MissWithout == 0 {
+		return 0
+	}
+	return 1 - r.MissWith/r.MissWithout
+}
+
+// SingletonRows runs the capacity-optimization ablation. The paper
+// reports ~10% average miss-rate reduction, strongest at small
+// capacities where effective capacity matters most (§4.4, §6.5).
+func SingletonRows(o Options) ([]SingletonRow, error) {
+	o = o.withDefaults()
+	var rows []SingletonRow
+	for _, wl := range o.Workloads {
+		for _, mb := range o.Capacities {
+			row := SingletonRow{Workload: wl, CapacityMB: mb}
+			for _, kind := range []string{system.KindFootprint, system.KindFootprintNoSingleton} {
+				design, err := system.BuildDesign(system.DesignSpec{
+					Kind: kind, PaperCapacityMB: mb, Scale: o.Scale,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := o.runFunctional(design, wl)
+				if err != nil {
+					return nil, err
+				}
+				if kind == system.KindFootprint {
+					row.MissWith = res.MissRatio()
+				} else {
+					row.MissWithout = res.MissRatio()
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FetchPolicyRow is one point of the §3.1 fetch-policy ablation:
+// sub-blocked caches bound underprediction cost, page-based caches
+// bound overprediction cost, Footprint sits between.
+type FetchPolicyRow struct {
+	Workload string
+	// Miss ratios and off-chip bytes per reference at 256MB.
+	MissSubblock, MissFootprint, MissPage    float64
+	BytesSubblock, BytesFootprint, BytesPage float64
+}
+
+// FetchPolicyRows runs the fetch-policy ablation at 256MB.
+func FetchPolicyRows(o Options) ([]FetchPolicyRow, error) {
+	o = o.withDefaults()
+	var rows []FetchPolicyRow
+	for _, wl := range o.Workloads {
+		row := FetchPolicyRow{Workload: wl}
+		for _, kind := range []string{system.KindSubblock, system.KindFootprint, system.KindPage} {
+			design, err := system.BuildDesign(system.DesignSpec{
+				Kind: kind, PaperCapacityMB: 256, Scale: o.Scale,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := o.runFunctional(design, wl)
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case system.KindSubblock:
+				row.MissSubblock, row.BytesSubblock = res.MissRatio(), res.OffChipBytesPerRef()
+			case system.KindFootprint:
+				row.MissFootprint, row.BytesFootprint = res.MissRatio(), res.OffChipBytesPerRef()
+			case system.KindPage:
+				row.MissPage, row.BytesPage = res.MissRatio(), res.OffChipBytesPerRef()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FeedbackRow is one point of the FHT feedback-policy ablation: the
+// paper's replace-with-most-recent policy (§4.2) vs accumulating
+// unions, at 256MB.
+type FeedbackRow struct {
+	Workload string
+	// Replace / Union miss ratios, coverage, and off-chip bytes/ref.
+	MissReplace, MissUnion   float64
+	CoverReplace, CoverUnion float64
+	OverReplace, OverUnion   float64
+	BytesReplace, BytesUnion float64
+}
+
+// FeedbackRows runs the feedback-policy ablation. Union feedback can
+// only grow footprints, so coverage rises and so does overfetch; the
+// paper's replace policy tracks phase changes instead.
+func FeedbackRows(o Options) ([]FeedbackRow, error) {
+	o = o.withDefaults()
+	var rows []FeedbackRow
+	for _, wl := range o.Workloads {
+		row := FeedbackRow{Workload: wl}
+		for _, kind := range []string{system.KindFootprint, system.KindFootprintUnion} {
+			design, err := system.BuildDesign(system.DesignSpec{
+				Kind: kind, PaperCapacityMB: 256, Scale: o.Scale,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := o.runFunctional(design, wl)
+			if err != nil {
+				return nil, err
+			}
+			fp := res.Footprint
+			if kind == system.KindFootprint {
+				row.MissReplace = res.MissRatio()
+				row.BytesReplace = res.OffChipBytesPerRef()
+				row.CoverReplace, row.OverReplace = fp.Coverage(), fp.Overprediction()
+			} else {
+				row.MissUnion = res.MissRatio()
+				row.BytesUnion = res.OffChipBytesPerRef()
+				row.CoverUnion, row.OverUnion = fp.Coverage(), fp.Overprediction()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Ablations renders both ablation studies.
+func Ablations(o Options, w io.Writer) error {
+	sing, err := SingletonRows(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation (§6.5): singleton-page capacity optimization — miss ratio with/without")
+	var t stats.Table
+	t.Header("workload", "capacity", "with", "without", "reduction")
+	var reds []float64
+	for _, r := range sing {
+		t.Row(r.Workload, fmt.Sprintf("%dMB", r.CapacityMB),
+			stats.Pct(r.MissWith), stats.Pct(r.MissWithout), stats.Pct(r.Reduction()))
+		if r.MissWithout > 0 {
+			reds = append(reds, r.MissWith/r.MissWithout)
+		}
+	}
+	if len(reds) > 0 {
+		t.Row("average", "", "", "", stats.Pct(1-stats.GeoMean(reds)))
+	}
+	if _, err := io.WriteString(w, t.String()); err != nil {
+		return err
+	}
+
+	fetch, err := FetchPolicyRows(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nAblation (§3.1): fetch policy — sub-blocked (no overprediction) vs footprint vs page (no underprediction), 256MB")
+	var f stats.Table
+	f.Header("workload", "miss sub", "miss fp", "miss page", "offB/ref sub", "offB/ref fp", "offB/ref page")
+	for _, r := range fetch {
+		f.Row(r.Workload,
+			stats.Pct(r.MissSubblock), stats.Pct(r.MissFootprint), stats.Pct(r.MissPage),
+			fmt.Sprintf("%.1f", r.BytesSubblock), fmt.Sprintf("%.1f", r.BytesFootprint), fmt.Sprintf("%.1f", r.BytesPage))
+	}
+	if _, err := io.WriteString(w, f.String()); err != nil {
+		return err
+	}
+
+	fb, err := FeedbackRows(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nAblation (§4.2): FHT feedback — replace-with-most-recent (paper) vs accumulate-union, 256MB")
+	var g stats.Table
+	g.Header("workload", "miss repl", "miss union", "cover repl", "cover union", "over repl", "over union", "offB/ref repl", "offB/ref union")
+	for _, r := range fb {
+		g.Row(r.Workload,
+			stats.Pct(r.MissReplace), stats.Pct(r.MissUnion),
+			stats.Pct(r.CoverReplace), stats.Pct(r.CoverUnion),
+			stats.Pct(r.OverReplace), stats.Pct(r.OverUnion),
+			fmt.Sprintf("%.1f", r.BytesReplace), fmt.Sprintf("%.1f", r.BytesUnion))
+	}
+	_, err = io.WriteString(w, g.String())
+	return err
+}

@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6). Each driver returns typed rows and can
+// render itself; cmd/fpbench and the root bench harness are thin
+// wrappers around this package.
+//
+// The per-experiment index lives in DESIGN.md §4. Experiments run at
+// a capacity scale factor (DESIGN.md §2) but are labelled with
+// paper-equivalent capacities.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpcache/internal/dcache"
+	"fpcache/internal/memtrace"
+	"fpcache/internal/synth"
+	"fpcache/internal/system"
+)
+
+// Options control experiment size; the zero value is filled with
+// defaults suitable for the full harness.
+type Options struct {
+	// Scale is the capacity scale factor (default 1/16).
+	Scale float64
+	// Refs is the measured reference count per configuration.
+	Refs int
+	// WarmupRefs precede measurement (default: same as Refs).
+	WarmupRefs int
+	// TimingRefs is the measured reference count for event-driven
+	// runs (more expensive; default Refs/4).
+	TimingRefs int
+	// Seed drives all randomness.
+	Seed int64
+	// Workloads defaults to the full suite.
+	Workloads []string
+	// Capacities are paper-scale MB points (default 64-512).
+	Capacities []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1.0 / 16
+	}
+	if o.Refs == 0 {
+		o.Refs = 1_000_000
+	}
+	if o.WarmupRefs == 0 {
+		o.WarmupRefs = o.Refs
+	}
+	if o.TimingRefs == 0 {
+		o.TimingRefs = o.Refs / 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = synth.Names()
+	}
+	if len(o.Capacities) == 0 {
+		o.Capacities = []int{64, 128, 256, 512}
+	}
+	return o
+}
+
+// trace builds a generator for a workload at the options' scale.
+func (o Options) trace(workload string) (memtrace.Source, synth.Profile, error) {
+	prof, err := synth.ByName(workload)
+	if err != nil {
+		return nil, synth.Profile{}, err
+	}
+	gen, err := synth.NewGenerator(prof, o.Seed, o.Scale)
+	if err != nil {
+		return nil, synth.Profile{}, err
+	}
+	return gen, gen.Profile(), nil
+}
+
+// runFunctional is the common functional-mode step.
+func (o Options) runFunctional(design dcache.Design, workload string) (system.FunctionalResult, error) {
+	src, _, err := o.trace(workload)
+	if err != nil {
+		return system.FunctionalResult{}, err
+	}
+	return system.RunFunctional(design, src, o.WarmupRefs, o.Refs), nil
+}
+
+// runTiming is the common timing-mode step.
+func (o Options) runTiming(design dcache.Design, workload string) (system.TimingResult, error) {
+	src, prof, err := o.trace(workload)
+	if err != nil {
+		return system.TimingResult{}, err
+	}
+	return system.RunTiming(design, src, system.TimingConfig{
+		Cores:      prof.Cores,
+		MLP:        prof.MLP,
+		WarmupRefs: o.WarmupRefs,
+		MaxRefs:    o.TimingRefs,
+	}), nil
+}
+
+// Runner is the common shape of every experiment driver.
+type Runner func(o Options, w io.Writer) error
+
+// registry maps experiment identifiers to drivers.
+var registry = map[string]Runner{
+	"figure1":  Figure1,
+	"figure4":  Figure4,
+	"figure5":  Figure5,
+	"figure6":  Figure6,
+	"figure7":  Figure7,
+	"figure8":  Figure8,
+	"figure9":  Figure9,
+	"figure10": Figure10,
+	"figure11": Figure11,
+	"figure12": Figure12,
+	"table4":   Table4,
+	"ablation": Ablations,
+}
+
+// order lists experiments in paper order for "run everything".
+var order = []string{
+	"figure1", "table4", "figure4", "figure5", "figure6", "figure7",
+	"figure8", "figure9", "figure10", "figure11", "figure12", "ablation",
+}
+
+// Names returns the experiment identifiers in paper order.
+func Names() []string { return append([]string(nil), order...) }
+
+// Run executes one experiment by identifier.
+func Run(name string, o Options, w io.Writer) error {
+	r, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(o, w)
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(o Options, w io.Writer) error {
+	for _, name := range order {
+		if err := Run(name, o, w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

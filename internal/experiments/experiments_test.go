@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpcache/internal/synth"
+)
+
+// tiny returns options small enough for unit testing while still
+// exercising every code path.
+func tiny() Options {
+	return Options{
+		Scale:      1.0 / 64,
+		Refs:       40_000,
+		WarmupRefs: 40_000,
+		TimingRefs: 8_000,
+		Seed:       1,
+		Workloads:  []string{synth.WebSearch, synth.MapReduce},
+		Capacities: []int{64, 256},
+	}
+}
+
+func TestNamesAndRegistryAgree(t *testing.T) {
+	names := Names()
+	if len(names) != len(registry) {
+		t.Fatalf("order has %d entries, registry %d", len(names), len(registry))
+	}
+	for _, n := range names {
+		if _, ok := registry[n]; !ok {
+			t.Fatalf("ordered experiment %q missing from registry", n)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("bogus", tiny(), &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable4RowsMatchPaper(t *testing.T) {
+	o := tiny()
+	o.Capacities = []int{64, 128, 256, 512}
+	rows, err := Table4Rows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper Table 4 values, with tolerance (we account slightly more
+	// metadata than the paper's tag-only numbers for Footprint).
+	paperFootprint := []float64{0.40, 0.80, 1.58, 3.12}
+	paperPage := []float64{0.22, 0.44, 0.86, 1.69}
+	for i, r := range rows {
+		if r.FootprintMB < paperFootprint[i]*0.9 || r.FootprintMB > paperFootprint[i]*1.4 {
+			t.Fatalf("%dMB footprint tags %.2fMB vs paper %.2fMB", r.CapacityMB, r.FootprintMB, paperFootprint[i])
+		}
+		if r.PageMB < paperPage[i]*0.8 || r.PageMB > paperPage[i]*1.2 {
+			t.Fatalf("%dMB page tags %.2fMB vs paper %.2fMB", r.CapacityMB, r.PageMB, paperPage[i])
+		}
+		if r.MissMapMB < 1.8 || r.MissMapMB > 3.3 {
+			t.Fatalf("%dMB missmap %.2fMB", r.CapacityMB, r.MissMapMB)
+		}
+	}
+}
+
+func TestFigure4RowsShape(t *testing.T) {
+	rows, err := Figure4Rows(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 workloads x 2 capacities
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		sum := 0.0
+		for _, f := range r.Fractions {
+			sum += f
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s@%dMB density fractions sum to %g", r.Workload, r.CapacityMB, sum)
+		}
+		if r.Pages == 0 {
+			t.Fatalf("%s@%dMB observed no evictions", r.Workload, r.CapacityMB)
+		}
+	}
+	// MapReduce must be more singleton-heavy than Web Search (Fig 4).
+	var mr, ws float64
+	for _, r := range rows {
+		if r.CapacityMB != 64 {
+			continue
+		}
+		if r.Workload == synth.MapReduce {
+			mr = r.Fractions[0]
+		}
+		if r.Workload == synth.WebSearch {
+			ws = r.Fractions[0]
+		}
+	}
+	if mr <= ws {
+		t.Fatalf("MapReduce singleton fraction %.2f not above Web Search %.2f", mr, ws)
+	}
+}
+
+func TestFigure5RowsOrdering(t *testing.T) {
+	rows, err := Figure5Rows(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's central result (Fig 5): page <= footprint < block
+		// on miss ratio; footprint << page on off-chip traffic.
+		if !(r.MissPage <= r.MissFootprint+0.02) {
+			t.Fatalf("%s@%dMB: page miss %.3f above footprint %.3f", r.Workload, r.CapacityMB, r.MissPage, r.MissFootprint)
+		}
+		if !(r.MissFootprint < r.MissBlock) {
+			t.Fatalf("%s@%dMB: footprint miss %.3f not below block %.3f", r.Workload, r.CapacityMB, r.MissFootprint, r.MissBlock)
+		}
+		if !(r.BWFootprint < r.BWPage) {
+			t.Fatalf("%s@%dMB: footprint traffic %.2fx not below page %.2fx", r.Workload, r.CapacityMB, r.BWFootprint, r.BWPage)
+		}
+	}
+}
+
+func TestFigure8RowsShape(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{synth.WebSearch}
+	rows, err := Figure8Rows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 3 page sizes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Covered <= 0 || r.Covered > 1 {
+			t.Fatalf("coverage %g out of range", r.Covered)
+		}
+		if r.Covered+r.Under < 0.99 || r.Covered+r.Under > 1.01 {
+			t.Fatalf("covered+under = %g", r.Covered+r.Under)
+		}
+	}
+}
+
+func TestFigure9RowsMonotonicTendency(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{synth.WebSearch}
+	rows, err := Figure9Rows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := rows[0].HitRatios
+	if len(hr) != len(FHTSizes) {
+		t.Fatalf("curve has %d points", len(hr))
+	}
+	// Larger FHTs must not hurt much: final >= first - small epsilon.
+	if hr[len(hr)-1] < hr[0]-0.02 {
+		t.Fatalf("hit ratio degraded with FHT size: %v", hr)
+	}
+}
+
+func TestFigure12RowsMonotone(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{synth.MapReduce}
+	rows, err := Figure12Rows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := rows[0].SizesMB
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Fatalf("coverage curve not monotone: %v", sizes)
+		}
+	}
+	if sizes[len(sizes)-1] <= 0 {
+		t.Fatal("80% coverage size is zero")
+	}
+}
+
+func TestSingletonAblation(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{synth.MapReduce} // singleton-heavy
+	o.Capacities = []int{64}
+	rows, err := SingletonRows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// §6.5: the optimization must reduce the miss rate on the
+	// singleton-heavy workload at small capacity.
+	if r.MissWith >= r.MissWithout {
+		t.Fatalf("singleton opt did not help: with=%.3f without=%.3f", r.MissWith, r.MissWithout)
+	}
+	if red := r.Reduction(); red <= 0 || red > 0.5 {
+		t.Fatalf("reduction = %.3f implausible", red)
+	}
+}
+
+func TestFetchPolicyAblation(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{synth.WebSearch}
+	rows, err := FetchPolicyRows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// §3.1: sub-blocked = max underprediction -> worst miss ratio;
+	// page = no underprediction -> best; footprint in between. And
+	// sub-blocked never overfetches -> least off-chip bytes.
+	if !(r.MissPage <= r.MissFootprint && r.MissFootprint <= r.MissSubblock) {
+		t.Fatalf("miss ordering violated: page=%.3f fp=%.3f sub=%.3f", r.MissPage, r.MissFootprint, r.MissSubblock)
+	}
+	if !(r.BytesSubblock <= r.BytesFootprint && r.BytesFootprint <= r.BytesPage) {
+		t.Fatalf("traffic ordering violated: sub=%.1f fp=%.1f page=%.1f", r.BytesSubblock, r.BytesFootprint, r.BytesPage)
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{synth.WebSearch}
+	o.Capacities = []int{64}
+	for _, name := range []string{"table4", "figure4", "figure5", "figure8", "figure12"} {
+		var buf bytes.Buffer
+		if err := Run(name, o, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "-----") || len(out) < 80 {
+			t.Fatalf("%s rendered implausibly:\n%s", name, out)
+		}
+	}
+}
+
+func TestTimingExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiments in -short mode")
+	}
+	o := tiny()
+	o.Workloads = []string{synth.WebSearch}
+	o.Capacities = []int{64}
+	o.TimingRefs = 20000
+	o.WarmupRefs = 60000
+
+	rows6, err := Figure6Rows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows6 {
+		if r.Footprint <= r.Block-0.15 {
+			t.Fatalf("footprint (%+.2f) far below block (%+.2f)", r.Footprint, r.Block)
+		}
+		if r.Ideal < r.Footprint-0.05 {
+			t.Fatalf("ideal (%+.2f) below footprint (%+.2f)", r.Ideal, r.Footprint)
+		}
+	}
+
+	rows1, err := Figure1Rows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows1 {
+		if r.HighBWLowLat < r.HighBW-0.05 {
+			t.Fatalf("low latency (%+.2f) below plain high-BW (%+.2f)", r.HighBWLowLat, r.HighBW)
+		}
+	}
+
+	erows, err := Figure10Rows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range erows {
+		base := r.Baseline.OffChip.TotalPJ()
+		if base <= 0 {
+			t.Fatal("baseline burned no off-chip energy")
+		}
+		if r.Footprint.OffChip.TotalPJ() >= base {
+			t.Fatal("footprint off-chip energy not below baseline")
+		}
+	}
+}

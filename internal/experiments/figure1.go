@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpcache/internal/dcache"
+	"fpcache/internal/dram"
+	"fpcache/internal/stats"
+	"fpcache/internal/system"
+)
+
+// Figure1Row is one workload's opportunity measurement.
+type Figure1Row struct {
+	Workload string
+	// HighBW is the performance improvement of a die-stacked main
+	// memory with 8x the baseline's bandwidth at baseline latency.
+	HighBW float64
+	// HighBWLowLat additionally halves the DRAM timing (§1, after
+	// [24]).
+	HighBWLowLat float64
+}
+
+// highBWConfig is the stacked-as-main-memory configuration: four
+// 128-bit TSV channels (8x the off-chip bandwidth) clocked so that
+// per-operation latency matches the 2D baseline.
+func highBWConfig(halfLatency bool) dram.Config {
+	cfg := dram.StackedDDR3_3200()
+	cfg.Name = "stacked-main-memory"
+	cfg.CPUPerBusCy = dram.OffChipDDR3_1600().CPUPerBusCy
+	cfg.Policy = dram.ClosePage
+	cfg.InterleaveBytes = 64
+	if halfLatency {
+		t := cfg.Timing
+		cfg.Timing = dram.Timing{
+			TCAS: t.TCAS / 2, TRCD: t.TRCD / 2, TRP: t.TRP / 2, TRAS: t.TRAS / 2,
+			TRC: t.TRC / 2, TWR: t.TWR / 2, TWTR: t.TWTR / 2, TRTP: t.TRTP / 2,
+			TRRD: t.TRRD / 2, TFAW: t.TFAW / 2,
+		}
+	}
+	return cfg
+}
+
+// Figure1Rows computes the opportunity study.
+func Figure1Rows(o Options) ([]Figure1Row, error) {
+	o = o.withDefaults()
+	var rows []Figure1Row
+	for _, wl := range o.Workloads {
+		base, err := o.runTiming(dcache.NewBaseline(), wl)
+		if err != nil {
+			return nil, err
+		}
+		run := func(half bool) (float64, error) {
+			src, prof, err := o.trace(wl)
+			if err != nil {
+				return 0, err
+			}
+			cfg := highBWConfig(half)
+			res := system.RunTiming(dcache.NewIdeal(), src, system.TimingConfig{
+				Cores:      prof.Cores,
+				MLP:        prof.MLP,
+				WarmupRefs: o.WarmupRefs,
+				MaxRefs:    o.TimingRefs,
+				Stacked:    &cfg,
+			})
+			return res.AggIPC()/base.AggIPC() - 1, nil
+		}
+		hb, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		hbll, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure1Row{Workload: wl, HighBW: hb, HighBWLowLat: hbll})
+	}
+	return rows, nil
+}
+
+// Figure1 renders the opportunity study.
+func Figure1(o Options, w io.Writer) error {
+	rows, err := Figure1Rows(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 1: performance opportunity of high-bandwidth, low-latency die-stacked main memory")
+	var t stats.Table
+	t.Header("workload", "high-BW", "high-BW & low-latency")
+	for _, r := range rows {
+		t.Row(r.Workload, stats.Pct(r.HighBW), stats.Pct(r.HighBWLowLat))
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpcache/internal/stats"
+	"fpcache/internal/system"
+)
+
+// Figure5Row compares the three cache organizations at one (workload,
+// capacity) point: miss ratios (5a) and off-chip bandwidth normalized
+// to the no-cache baseline (5b).
+type Figure5Row struct {
+	Workload   string
+	CapacityMB int
+
+	MissPage, MissFootprint, MissBlock float64
+	BWPage, BWFootprint, BWBlock       float64
+}
+
+// Figure5Rows measures miss ratio and off-chip traffic for the
+// page-based, Footprint, and block-based designs (§6.2).
+func Figure5Rows(o Options) ([]Figure5Row, error) {
+	o = o.withDefaults()
+	var rows []Figure5Row
+	for _, wl := range o.Workloads {
+		baseDesign, err := system.BuildDesign(system.DesignSpec{Kind: system.KindBaseline})
+		if err != nil {
+			return nil, err
+		}
+		base, err := o.runFunctional(baseDesign, wl)
+		if err != nil {
+			return nil, err
+		}
+		baseBW := base.OffChipBytesPerRef()
+		for _, mb := range o.Capacities {
+			row := Figure5Row{Workload: wl, CapacityMB: mb}
+			for _, kind := range []string{system.KindPage, system.KindFootprint, system.KindBlock} {
+				design, err := system.BuildDesign(system.DesignSpec{
+					Kind: kind, PaperCapacityMB: mb, Scale: o.Scale,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := o.runFunctional(design, wl)
+				if err != nil {
+					return nil, err
+				}
+				miss := res.MissRatio()
+				bw := stats.Ratio(res.OffChipBytesPerRef(), baseBW)
+				switch kind {
+				case system.KindPage:
+					row.MissPage, row.BWPage = miss, bw
+				case system.KindFootprint:
+					row.MissFootprint, row.BWFootprint = miss, bw
+				case system.KindBlock:
+					row.MissBlock, row.BWBlock = miss, bw
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Figure5 renders miss ratios and normalized off-chip bandwidth.
+func Figure5(o Options, w io.Writer) error {
+	rows, err := Figure5Rows(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 5a: DRAM cache miss ratio — page / footprint / block")
+	var a stats.Table
+	a.Header("workload", "capacity", "page", "footprint", "block")
+	for _, r := range rows {
+		a.Row(r.Workload, fmt.Sprintf("%dMB", r.CapacityMB),
+			stats.Pct(r.MissPage), stats.Pct(r.MissFootprint), stats.Pct(r.MissBlock))
+	}
+	if _, err := io.WriteString(w, a.String()); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nFigure 5b: off-chip bandwidth normalized to baseline — page / footprint / block")
+	var b stats.Table
+	b.Header("workload", "capacity", "page", "footprint", "block")
+	for _, r := range rows {
+		b.Row(r.Workload, fmt.Sprintf("%dMB", r.CapacityMB),
+			fmt.Sprintf("%.2fx", r.BWPage), fmt.Sprintf("%.2fx", r.BWFootprint), fmt.Sprintf("%.2fx", r.BWBlock))
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpcache/internal/stats"
+	"fpcache/internal/synth"
+	"fpcache/internal/system"
+)
+
+// PerfRow is one (workload, capacity) performance comparison:
+// improvement over the no-cache baseline for each design.
+type PerfRow struct {
+	Workload   string
+	CapacityMB int
+	// Improvements keyed in Figure 6's order.
+	Block, Page, Footprint, Ideal float64
+}
+
+// perfRows runs the timing comparison for the given workloads.
+func perfRows(o Options, workloads []string) ([]PerfRow, error) {
+	var rows []PerfRow
+	for _, wl := range workloads {
+		baseDesign, err := system.BuildDesign(system.DesignSpec{Kind: system.KindBaseline})
+		if err != nil {
+			return nil, err
+		}
+		base, err := o.runTiming(baseDesign, wl)
+		if err != nil {
+			return nil, err
+		}
+		// Ideal is capacity-independent; measure once per workload.
+		idealDesign, err := system.BuildDesign(system.DesignSpec{Kind: system.KindIdeal})
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := o.runTiming(idealDesign, wl)
+		if err != nil {
+			return nil, err
+		}
+		for _, mb := range o.Capacities {
+			row := PerfRow{Workload: wl, CapacityMB: mb, Ideal: ideal.AggIPC()/base.AggIPC() - 1}
+			for _, kind := range []string{system.KindBlock, system.KindPage, system.KindFootprint} {
+				design, err := system.BuildDesign(system.DesignSpec{
+					Kind: kind, PaperCapacityMB: mb, Scale: o.Scale,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := o.runTiming(design, wl)
+				if err != nil {
+					return nil, err
+				}
+				imp := res.AggIPC()/base.AggIPC() - 1
+				switch kind {
+				case system.KindBlock:
+					row.Block = imp
+				case system.KindPage:
+					row.Page = imp
+				case system.KindFootprint:
+					row.Footprint = imp
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Figure6Rows measures performance improvement over baseline for
+// every workload except Data Serving (which Figure 7 plots
+// separately due to its scale, §6.3), plus a geomean row per
+// capacity.
+func Figure6Rows(o Options) ([]PerfRow, error) {
+	o = o.withDefaults()
+	var workloads []string
+	for _, wl := range o.Workloads {
+		if wl != synth.DataServing {
+			workloads = append(workloads, wl)
+		}
+	}
+	rows, err := perfRows(o, workloads)
+	if err != nil {
+		return nil, err
+	}
+	// Geomean across workloads per capacity (of speedups, reported as
+	// improvement).
+	for _, mb := range o.Capacities {
+		var blk, pg, fp, id []float64
+		for _, r := range rows {
+			if r.CapacityMB != mb {
+				continue
+			}
+			blk = append(blk, 1+r.Block)
+			pg = append(pg, 1+r.Page)
+			fp = append(fp, 1+r.Footprint)
+			id = append(id, 1+r.Ideal)
+		}
+		if len(blk) == 0 {
+			continue
+		}
+		rows = append(rows, PerfRow{
+			Workload:   "geomean",
+			CapacityMB: mb,
+			Block:      stats.GeoMean(blk) - 1,
+			Page:       stats.GeoMean(pg) - 1,
+			Footprint:  stats.GeoMean(fp) - 1,
+			Ideal:      stats.GeoMean(id) - 1,
+		})
+	}
+	return rows, nil
+}
+
+func renderPerf(title string, rows []PerfRow, w io.Writer) error {
+	fmt.Fprintln(w, title)
+	var t stats.Table
+	t.Header("workload", "capacity", "block", "page", "footprint", "ideal")
+	for _, r := range rows {
+		t.Row(r.Workload, fmt.Sprintf("%dMB", r.CapacityMB),
+			stats.Pct(r.Block), stats.Pct(r.Page), stats.Pct(r.Footprint), stats.Pct(r.Ideal))
+	}
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// Figure6 renders the performance comparison.
+func Figure6(o Options, w io.Writer) error {
+	rows, err := Figure6Rows(o)
+	if err != nil {
+		return err
+	}
+	return renderPerf("Figure 6: performance improvement over baseline (all workloads except Data Serving)", rows, w)
+}
+
+// Figure7Rows is the Data Serving performance comparison (§6.3).
+func Figure7Rows(o Options) ([]PerfRow, error) {
+	o = o.withDefaults()
+	return perfRows(o, []string{synth.DataServing})
+}
+
+// Figure7 renders the Data Serving comparison.
+func Figure7(o Options, w io.Writer) error {
+	rows, err := Figure7Rows(o)
+	if err != nil {
+		return err
+	}
+	return renderPerf("Figure 7: performance improvement over baseline — Data Serving", rows, w)
+}

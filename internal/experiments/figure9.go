@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpcache/internal/stats"
+	"fpcache/internal/system"
+)
+
+// FHTSizes are Figure 9's history-size sweep points.
+var FHTSizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+
+// Figure9Row is one workload's hit-ratio curve over FHT sizes.
+type Figure9Row struct {
+	Workload  string
+	HitRatios []float64 // aligned with FHTSizes
+}
+
+// Figure9Rows measures Footprint Cache hit ratio sensitivity to the
+// number of FHT entries (256MB cache, 2KB pages, §6.4).
+func Figure9Rows(o Options) ([]Figure9Row, error) {
+	o = o.withDefaults()
+	var rows []Figure9Row
+	for _, wl := range o.Workloads {
+		row := Figure9Row{Workload: wl}
+		for _, entries := range FHTSizes {
+			design, err := system.BuildDesign(system.DesignSpec{
+				Kind: system.KindFootprint, PaperCapacityMB: 256, Scale: o.Scale,
+				FHTEntries: entries,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := o.runFunctional(design, wl)
+			if err != nil {
+				return nil, err
+			}
+			row.HitRatios = append(row.HitRatios, res.Counters.HitRatio())
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure9 renders the history-size sensitivity.
+func Figure9(o Options, w io.Writer) error {
+	rows, err := Figure9Rows(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 9: hit ratio vs FHT entries (256MB cache, 2KB pages)")
+	var t stats.Table
+	hdr := []string{"workload"}
+	for _, e := range FHTSizes {
+		hdr = append(hdr, fmt.Sprintf("%dK", e/1024))
+	}
+	t.Header(hdr...)
+	for _, r := range rows {
+		cells := []string{r.Workload}
+		for _, h := range r.HitRatios {
+			cells = append(cells, stats.Pct(h))
+		}
+		t.Row(cells...)
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}

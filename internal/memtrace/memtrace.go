@@ -1,0 +1,219 @@
+// Package memtrace defines the memory-reference trace format shared by
+// the workload generators, the cache models, and the timing simulator.
+//
+// A trace is a stream of Record values. Each record is one last-level
+// (L2) cache miss arriving at the DRAM cache: the physical address,
+// the program counter of the instruction that issued it (the paper's
+// predictor is indexed by PC & offset, §3.1), the core it came from,
+// and whether it is a read or a write.
+//
+// Traces can live in memory (Slice) or on disk in a compact binary
+// encoding (Writer/Reader), and are always consumed through the Source
+// interface so cache models do not care where records come from.
+package memtrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// PC is an instruction address.
+type PC uint64
+
+// Record is a single memory reference at the DRAM-cache level.
+type Record struct {
+	PC    PC
+	Addr  Addr
+	Core  uint8
+	Write bool
+	// Gap is the number of non-memory instructions the issuing core
+	// executed since its previous record; the timing model converts it
+	// to compute cycles between memory requests.
+	Gap uint32
+}
+
+// Source yields trace records until exhaustion.
+type Source interface {
+	// Next returns the next record. ok is false when the trace is
+	// exhausted.
+	Next() (rec Record, ok bool)
+}
+
+// Slice is an in-memory trace.
+type Slice struct {
+	Records []Record
+	pos     int
+}
+
+// NewSlice wraps records in a Source.
+func NewSlice(records []Record) *Slice { return &Slice{Records: records} }
+
+// Next implements Source.
+func (s *Slice) Next() (Record, bool) {
+	if s.pos >= len(s.Records) {
+		return Record{}, false
+	}
+	r := s.Records[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Reset rewinds the slice so it can be replayed.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Collect drains a source into memory, up to max records (max <= 0
+// means unbounded).
+func Collect(src Source, max int) []Record {
+	var out []Record
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Limit wraps a source, truncating it after n records.
+type Limit struct {
+	Src  Source
+	N    int
+	seen int
+}
+
+// Next implements Source.
+func (l *Limit) Next() (Record, bool) {
+	if l.seen >= l.N {
+		return Record{}, false
+	}
+	r, ok := l.Src.Next()
+	if !ok {
+		return Record{}, false
+	}
+	l.seen++
+	return r, true
+}
+
+const (
+	magic   = uint32(0xF007C0DE) // "FOOTCODE"
+	version = uint16(1)
+)
+
+// Writer streams records to an io.Writer in the binary trace format.
+type Writer struct {
+	w       *bufio.Writer
+	wrote   uint64
+	started bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriterSize(w, 1<<16)} }
+
+func (tw *Writer) header() error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint16(hdr[4:], version)
+	_, err := tw.w.Write(hdr[:])
+	return err
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if !tw.started {
+		if err := tw.header(); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	var buf [22]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.PC))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(r.Addr))
+	buf[16] = r.Core
+	if r.Write {
+		buf[17] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[18:], r.Gap)
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	tw.wrote++
+	return nil
+}
+
+// Flush commits buffered records. An empty trace still gets a header.
+func (tw *Writer) Flush() error {
+	if !tw.started {
+		if err := tw.header(); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	return tw.w.Flush()
+}
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() uint64 { return tw.wrote }
+
+// Reader decodes the binary trace format; it implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	err    error
+	opened bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReaderSize(r, 1<<16)} }
+
+// Err returns the first decoding error other than io.EOF, if any.
+func (tr *Reader) Err() error { return tr.err }
+
+func (tr *Reader) open() bool {
+	var hdr [8]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		tr.err = fmt.Errorf("memtrace: reading header: %w", err)
+		return false
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		tr.err = errors.New("memtrace: bad magic; not a trace file")
+		return false
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != version {
+		tr.err = fmt.Errorf("memtrace: unsupported trace version %d", v)
+		return false
+	}
+	tr.opened = true
+	return true
+}
+
+// Next implements Source.
+func (tr *Reader) Next() (Record, bool) {
+	if tr.err != nil {
+		return Record{}, false
+	}
+	if !tr.opened && !tr.open() {
+		return Record{}, false
+	}
+	var buf [22]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err != io.EOF {
+			tr.err = fmt.Errorf("memtrace: reading record: %w", err)
+		}
+		return Record{}, false
+	}
+	return Record{
+		PC:    PC(binary.LittleEndian.Uint64(buf[0:])),
+		Addr:  Addr(binary.LittleEndian.Uint64(buf[8:])),
+		Core:  buf[16],
+		Write: buf[17] != 0,
+		Gap:   binary.LittleEndian.Uint32(buf[18:]),
+	}, true
+}

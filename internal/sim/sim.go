@@ -1,0 +1,149 @@
+// Package sim provides the discrete-event simulation kernel used by
+// the timing model: a monotonic cycle clock and a binary-heap event
+// queue with deterministic tie-breaking.
+//
+// Components schedule callbacks at absolute cycle times; the engine
+// runs them in (time, insertion-order) order, so simulations are fully
+// deterministic for a given seed and configuration.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle uint64
+
+// Event is a scheduled callback.
+type event struct {
+	at   Cycle
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event-driven simulation core. The zero value is ready
+// to use at cycle 0.
+type Engine struct {
+	now   Cycle
+	seq   uint64
+	queue eventHeap
+	// Executed counts events run, for progress reporting and
+	// runaway-simulation guards.
+	Executed uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Ticket identifies a scheduled event so it can be cancelled.
+type Ticket struct{ ev *event }
+
+// Schedule runs fn at absolute cycle at. Scheduling in the past (at <
+// Now) runs the event at the current time, preserving order. It
+// returns a Ticket that can cancel the event before it fires.
+func (e *Engine) Schedule(at Cycle, fn func()) Ticket {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Ticket{ev: ev}
+}
+
+// After runs fn delta cycles from now.
+func (e *Engine) After(delta Cycle, fn func()) Ticket {
+	return e.Schedule(e.now+delta, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an
+// already-fired or already-cancelled event is a no-op. It reports
+// whether the event was live.
+func (e *Engine) Cancel(t Ticket) bool {
+	if t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Pending returns the number of events still queued (including
+// cancelled events not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step executes the next event. It reports false if the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or until the optional
+// stop predicate returns true (checked before each event). It returns
+// the final simulated time.
+func (e *Engine) Run(stop func() bool) Cycle {
+	for {
+		if stop != nil && stop() {
+			return e.now
+		}
+		if !e.Step() {
+			return e.now
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline.
+func (e *Engine) RunUntil(deadline Cycle) Cycle {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []Cycle
+	for _, at := range []Cycle{30, 10, 20, 10, 5} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run(nil)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+}
+
+func TestEngineTieBreaksByInsertionOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { got = append(got, i) })
+	}
+	e.Run(nil)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestEngineNowAdvances(t *testing.T) {
+	var e Engine
+	var at Cycle
+	e.Schedule(42, func() { at = e.Now() })
+	e.Run(nil)
+	if at != 42 {
+		t.Fatalf("Now() inside event = %d, want 42", at)
+	}
+	if e.Now() != 42 {
+		t.Fatalf("final Now() = %d, want 42", e.Now())
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	var e Engine
+	var order []string
+	e.Schedule(100, func() {
+		e.Schedule(50, func() { order = append(order, "past") })
+		order = append(order, "now")
+	})
+	e.Run(nil)
+	if len(order) != 2 || order[0] != "now" || order[1] != "past" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("past-scheduled event advanced clock to %d", e.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var e Engine
+	var at Cycle
+	e.Schedule(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run(nil)
+	if at != 15 {
+		t.Fatalf("After fired at %d, want 15", at)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	var e Engine
+	fired := false
+	tk := e.Schedule(10, func() { fired = true })
+	if !e.Cancel(tk) {
+		t.Fatal("Cancel reported dead for a live event")
+	}
+	if e.Cancel(tk) {
+		t.Fatal("second Cancel reported live")
+	}
+	e.Run(nil)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	e.Schedule(1, func() {})
+	if !e.Step() {
+		t.Fatal("Step with queued event returned false")
+	}
+	if e.Step() {
+		t.Fatal("Step after draining returned true")
+	}
+}
+
+func TestRunStopPredicate(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Cycle(i), func() { count++ })
+	}
+	e.Run(func() bool { return count >= 3 })
+	if count != 3 {
+		t.Fatalf("ran %d events, want 3", count)
+	}
+}
+
+func TestRunUntilExecutesDeadlineInclusive(t *testing.T) {
+	var e Engine
+	var got []Cycle
+	for _, at := range []Cycle{5, 10, 15} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(10)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(10) ran %v", got)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("RunUntil left clock at %d", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(99)
+	if e.Now() != 99 {
+		t.Fatalf("idle RunUntil left clock at %d", e.Now())
+	}
+}
+
+func TestExecutedCounts(t *testing.T) {
+	var e Engine
+	for i := 0; i < 7; i++ {
+		e.Schedule(Cycle(i), func() {})
+	}
+	tk := e.Schedule(100, func() {})
+	e.Cancel(tk)
+	e.Run(nil)
+	if e.Executed != 7 {
+		t.Fatalf("Executed = %d, want 7 (cancelled events don't count)", e.Executed)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	var e Engine
+	depth := 0
+	var spawn func()
+	spawn = func() {
+		if depth < 100 {
+			depth++
+			e.After(1, spawn)
+		}
+	}
+	e.Schedule(0, spawn)
+	e.Run(nil)
+	if depth != 100 {
+		t.Fatalf("cascade depth = %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", e.Now())
+	}
+}
+
+// Property: for any schedule of random events, execution times are
+// non-decreasing and every non-cancelled event runs exactly once.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		var times []Cycle
+		for i := 0; i < n; i++ {
+			at := Cycle(rng.Intn(1000))
+			e.Schedule(at, func() { times = append(times, e.Now()) })
+		}
+		e.Run(nil)
+		if len(times) != n {
+			return false
+		}
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

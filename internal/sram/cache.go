@@ -1,0 +1,106 @@
+package sram
+
+import (
+	"fmt"
+
+	"fpcache/internal/memtrace"
+)
+
+// Line is the payload of a conventional cache block.
+type Line struct {
+	Dirty bool
+}
+
+// Cache is a conventional set-associative SRAM cache (an L1 or L2
+// model) used to filter traces down to the DRAM-cache level in
+// full-hierarchy runs.
+type Cache struct {
+	blockBits int
+	setMask   uint64
+	arr       *SetAssoc[Line]
+
+	// WritebackFn, if set, is invoked for every dirty eviction with
+	// the victim block's address.
+	WritebackFn func(addr memtrace.Addr)
+}
+
+// CacheConfig describes a conventional cache geometry.
+type CacheConfig struct {
+	SizeBytes int
+	BlockSize int
+	Ways      int
+}
+
+// NewCache builds a cache; geometry must divide evenly and sets must
+// be a power of two (hardware-indexable).
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.BlockSize <= 0 || cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("sram: invalid cache config %+v", cfg)
+	}
+	if cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		return nil, fmt.Errorf("sram: block size %d not a power of two", cfg.BlockSize)
+	}
+	blocks := cfg.SizeBytes / cfg.BlockSize
+	if blocks*cfg.BlockSize != cfg.SizeBytes || blocks%cfg.Ways != 0 {
+		return nil, fmt.Errorf("sram: geometry %+v does not divide evenly", cfg)
+	}
+	sets := blocks / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("sram: %d sets is not a power of two", sets)
+	}
+	c := &Cache{arr: NewSetAssoc[Line](sets, cfg.Ways)}
+	for cfg.BlockSize > 1 {
+		cfg.BlockSize >>= 1
+		c.blockBits++
+	}
+	c.setMask = uint64(sets - 1)
+	return c, nil
+}
+
+func (c *Cache) index(addr memtrace.Addr) (set int, tag uint64) {
+	blk := uint64(addr) >> c.blockBits
+	return int(blk & c.setMask), blk >> uint(bitsFor(c.setMask))
+}
+
+func bitsFor(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// Access performs a read or write. It returns whether it hit, and if a
+// dirty block was evicted to make room, reports it through
+// WritebackFn.
+func (c *Cache) Access(addr memtrace.Addr, write bool) (hit bool) {
+	set, tag := c.index(addr)
+	if e := c.arr.Lookup(set, tag); e != nil {
+		if write {
+			e.Value.Dirty = true
+		}
+		return true
+	}
+	old, evicted := c.arr.Insert(set, tag, Line{Dirty: write})
+	if evicted && old.Value.Dirty && c.WritebackFn != nil {
+		victimBlk := old.Tag<<uint(bitsFor(c.setMask)) | uint64(set)
+		c.WritebackFn(memtrace.Addr(victimBlk << c.blockBits))
+	}
+	return false
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() uint64 { return c.arr.Hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.arr.Misses }
+
+// HitRatio returns hits / (hits+misses), or 0 before any access.
+func (c *Cache) HitRatio() float64 {
+	t := c.arr.Hits + c.arr.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.arr.Hits) / float64(t)
+}

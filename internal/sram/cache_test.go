@@ -1,0 +1,92 @@
+package sram
+
+import (
+	"testing"
+
+	"fpcache/internal/memtrace"
+)
+
+func mustCache(t *testing.T, cfg CacheConfig) *Cache {
+	t.Helper()
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeBytes: 4096, BlockSize: 64, Ways: 2})
+	if c.Access(0x1000, false) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000, false) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1020, false) {
+		t.Fatal("same-block offset access missed")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if r := c.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit ratio = %g", r)
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	// 2 sets x 1 way of 64B blocks: conflicting addresses evict.
+	c := mustCache(t, CacheConfig{SizeBytes: 128, BlockSize: 64, Ways: 1})
+	var wbs []memtrace.Addr
+	c.WritebackFn = func(a memtrace.Addr) { wbs = append(wbs, a) }
+
+	c.Access(0x0000, true)  // dirty fill, set 0
+	c.Access(0x0080, false) // clean fill, set 0 conflict -> evict dirty 0x0
+	if len(wbs) != 1 || wbs[0] != 0x0000 {
+		t.Fatalf("writebacks = %v, want [0x0]", wbs)
+	}
+	c.Access(0x0100, false) // set 0 conflict -> evicts clean 0x80, no writeback
+	if len(wbs) != 1 {
+		t.Fatalf("clean eviction wrote back: %v", wbs)
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 0, BlockSize: 64, Ways: 1},
+		{SizeBytes: 4096, BlockSize: 60, Ways: 1},     // not power of two
+		{SizeBytes: 4096, BlockSize: 64, Ways: 3},     // blocks not divisible
+		{SizeBytes: 4096 * 3, BlockSize: 64, Ways: 4}, // sets not power of two wait 192/4=48 not pow2
+	}
+	for _, cfg := range bad {
+		if _, err := NewCache(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestCacheWriteMarksDirtyOnHit(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeBytes: 128, BlockSize: 64, Ways: 1})
+	var wbs int
+	c.WritebackFn = func(memtrace.Addr) { wbs++ }
+	c.Access(0x0000, false) // clean fill
+	c.Access(0x0000, true)  // write hit -> dirty
+	c.Access(0x0080, false) // evicts -> must write back
+	if wbs != 1 {
+		t.Fatalf("writebacks = %d, want 1", wbs)
+	}
+}
+
+func TestCacheFiltersRepeatTraffic(t *testing.T) {
+	// The L2 filter role: repeated references to a small set of blocks
+	// should nearly all hit after the first touch.
+	c := mustCache(t, CacheConfig{SizeBytes: 64 * 1024, BlockSize: 64, Ways: 8})
+	for round := 0; round < 10; round++ {
+		for b := 0; b < 100; b++ {
+			c.Access(memtrace.Addr(b*64), false)
+		}
+	}
+	if c.Misses() != 100 {
+		t.Fatalf("misses = %d, want 100 cold misses only", c.Misses())
+	}
+}

@@ -1,0 +1,205 @@
+// Package stats provides small statistical helpers used across the
+// simulator: streaming means, histograms, geometric means, confidence
+// intervals, and fixed-width table rendering for the bench harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean is a streaming arithmetic mean with variance tracking
+// (Welford's algorithm). The zero value is ready to use.
+type Mean struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the mean.
+func (m *Mean) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Mean) N() int64 { return m.n }
+
+// Value returns the arithmetic mean, or 0 with no observations.
+func (m *Mean) Value() float64 { return m.mean }
+
+// Variance returns the sample variance, or 0 with fewer than two
+// observations.
+func (m *Mean) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean under a normal approximation (the paper reports measurements at
+// a 95% confidence level, §5.4).
+func (m *Mean) CI95() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return 1.96 * m.StdDev() / math.Sqrt(float64(m.n))
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive inputs are an
+// error in this domain (ratios and speedups), so they panic loudly
+// rather than silently corrupting a result.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Ratio returns a/b, or 0 if b is zero. Convenient for normalized
+// metrics where an empty denominator means "no activity".
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Histogram is a bucketed counter over arbitrary integer upper bounds.
+// Bucket i counts observations x with x <= Bounds[i] (and greater than
+// Bounds[i-1]). Observations above the last bound land in the overflow
+// bucket.
+type Histogram struct {
+	Bounds   []int64
+	Counts   []int64
+	Overflow int64
+	total    int64
+}
+
+// NewHistogram builds a histogram over the given ascending bounds.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must ascend")
+		}
+	}
+	return &Histogram{Bounds: bounds, Counts: make([]int64, len(bounds))}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x int64) {
+	h.total++
+	i := sort.Search(len(h.Bounds), func(i int) bool { return x <= h.Bounds[i] })
+	if i == len(h.Bounds) {
+		h.Overflow++
+		return
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fraction returns the fraction of observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Fractions returns per-bucket fractions including overflow as the
+// final element.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts)+1)
+	for i := range h.Counts {
+		out[i] = h.Fraction(i)
+	}
+	if h.total > 0 {
+		out[len(h.Counts)] = float64(h.Overflow) / float64(h.total)
+	}
+	return out
+}
+
+// Table renders aligned rows of strings, for figure/table output. The
+// first row is treated as a header and underlined.
+type Table struct {
+	rows [][]string
+}
+
+// Header sets the header cells.
+func (t *Table) Header(cells ...string) { t.rows = append([][]string{cells}, t.rows...) }
+
+// Row appends a data row.
+func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Rowf appends a row where each cell is formatted with fmt.Sprint for
+// arbitrary values.
+func (t *Table) Rowf(cells ...any) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			s[i] = fmt.Sprintf("%.3f", v)
+		default:
+			s[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, s)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", widths[i]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage string with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

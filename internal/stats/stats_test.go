@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 {
+		t.Fatal("zero Mean not zero")
+	}
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		m.Add(x)
+	}
+	if m.N() != 5 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if math.Abs(m.Value()-3) > 1e-12 {
+		t.Fatalf("mean = %g, want 3", m.Value())
+	}
+	if math.Abs(m.Variance()-2.5) > 1e-12 {
+		t.Fatalf("variance = %g, want 2.5", m.Variance())
+	}
+}
+
+func TestMeanMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var m Mean
+		sum := 0.0
+		for _, x := range xs {
+			m.Add(x)
+			sum += x
+		}
+		naive := sum / float64(len(xs))
+		return math.Abs(m.Value()-naive) < 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithSamples(t *testing.T) {
+	var small, large Mean
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 3))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: %g vs %g", large.CI95(), small.CI95())
+	}
+	var single Mean
+	single.Add(1)
+	if single.CI95() != 0 {
+		t.Fatal("CI95 of one sample should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %g, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %g", g)
+	}
+	if g := GeoMean([]float64{7}); math.Abs(g-7) > 1e-12 {
+		t.Fatalf("GeoMean(7) = %g", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean of non-positive value did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := GeoMean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("Ratio(6,3) != 2")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio by zero should be 0")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 3, 7)
+	for _, x := range []int64{1, 2, 3, 4, 7, 8, 100} {
+		h.Add(x)
+	}
+	if h.Counts[0] != 1 { // x <= 1
+		t.Fatalf("bucket0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 2 { // 2,3
+		t.Fatalf("bucket1 = %d", h.Counts[1])
+	}
+	if h.Counts[2] != 2 { // 4,7
+		t.Fatalf("bucket2 = %d", h.Counts[2])
+	}
+	if h.Overflow != 2 { // 8,100
+		t.Fatalf("overflow = %d", h.Overflow)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	f := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		h := NewHistogram(0, 10, 100, 1000)
+		for _, x := range xs {
+			h.Add(int64(x))
+		}
+		sum := 0.0
+		for _, fr := range h.Fractions() {
+			sum += fr
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds did not panic")
+		}
+	}()
+	NewHistogram(5, 3)
+}
+
+func TestTableRendering(t *testing.T) {
+	var tb Table
+	tb.Header("name", "value")
+	tb.Row("x", "1")
+	tb.Rowf("longer-name", 3.14159)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("header/underline malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("Rowf float formatting missing:\n%s", out)
+	}
+	// Columns align: all lines equal length after padding.
+	if len(lines[2]) > len(lines[0])+2 {
+		t.Fatalf("column misalignment:\n%s", out)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var tb Table
+	if tb.String() != "" {
+		t.Fatal("empty table should render empty")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(0.1234))
+	}
+}

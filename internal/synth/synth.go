@@ -1,0 +1,381 @@
+// Package synth generates synthetic memory-reference traces that stand
+// in for the paper's CloudSuite 1.0 and SPEC INT2006 workloads.
+//
+// The substitution is documented in DESIGN.md §2. Its core is the
+// pattern-pool model: server software accesses structured data through
+// a small set of code paths (get/set methods, iterators), so the
+// (PC, offset) of the access that first touches a page strongly
+// predicts which other blocks of that page will be touched — the
+// property Footprint Cache exploits (§3.1 of the paper). The generator
+// makes that property explicit:
+//
+//   - A *pattern* models one code site: a PC, a footprint template (a
+//     set of 64B blocks within a 4KB region), and an emission order.
+//   - A *visit* is one activation of a pattern against a region of the
+//     dataset: it emits the template's blocks over time, interleaved
+//     with hundreds of other concurrent visits (so a page's footprint
+//     accumulates during a finite residency window, which is what
+//     makes measured page density grow with cache capacity, Fig. 4).
+//   - Per-workload profiles control the pattern mix (singleton-heavy
+//     MapReduce vs dense Web Search), dataset size, popularity skew,
+//     write fraction, and — for SAT Solver — template drift over time,
+//     which models its on-the-fly dataset construction that the paper
+//     reports interferes with prediction (§6.2).
+//
+// Addresses are emitted over 4KB regions; the *cache* decides the page
+// size, so one trace serves 1KB/2KB/4KB page studies (Fig. 8).
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpcache/internal/memtrace"
+)
+
+// RegionBytes is the natural data-structure placement unit the
+// generator emits over; caches chop it into pages.
+const RegionBytes = 4096
+
+// BlocksPerRegion is the number of 64B blocks per region.
+const BlocksPerRegion = RegionBytes / 64
+
+// Class describes one family of access patterns.
+type Class struct {
+	// Weight is the relative frequency of visits drawn from this
+	// class.
+	Weight float64
+	// MinBlocks/MaxBlocks bound the template size in blocks.
+	MinBlocks, MaxBlocks int
+	// Sequential templates are contiguous runs accessed in ascending
+	// order; non-sequential templates scatter blocks within a
+	// half-region window and access them in a fixed shuffled order.
+	Sequential bool
+	// FullRegion templates cover all 64 blocks of the region
+	// (streaming patterns); MinBlocks/MaxBlocks are ignored.
+	FullRegion bool
+}
+
+// Profile is a workload description. All capacities are paper-scale;
+// the generator scales them by the harness scale factor.
+type Profile struct {
+	Name string
+	// Classes is the pattern mix.
+	Classes []Class
+	// PatternsPerClass is the number of distinct code sites per class.
+	PatternsPerClass int
+	// DatasetBytes is the paper-scale dataset size.
+	DatasetBytes int64
+	// Concurrency is the number of in-flight visits (drives page
+	// residency pressure), at paper scale.
+	Concurrency int
+	// RevisitFrac is the probability a new visit targets a recently
+	// touched region instead of a fresh draw from the dataset.
+	RevisitFrac float64
+	// RecencyWindow is the size of the recently-touched region pool.
+	RecencyWindow int
+	// ZipfTheta is the popularity skew over the dataset (0 = uniform;
+	// scale-out datasets are weakly skewed, §6.7).
+	ZipfTheta float64
+	// WriteFrac is the fraction of references that are writes
+	// (L2 dirty writebacks reaching the DRAM cache).
+	WriteFrac float64
+	// RepeatFrac is the probability of re-emitting an already-visited
+	// block (intra-page temporal reuse; low for DRAM caches, §2).
+	RepeatFrac float64
+	// BurstLen is the mean number of accesses a visit issues each
+	// time it holds the core's focus. Data-structure traversals touch
+	// a page in tight bursts; burst length controls how page
+	// residency compares to visit duration (and with it how much
+	// footprint truncation small caches suffer, Fig. 4). Defaults
+	// to 8.
+	BurstLen int
+	// GapMean is the mean number of non-memory instructions between
+	// references per core.
+	GapMean int
+	// MLP is the per-core memory-level parallelism the timing model
+	// should allow for this workload.
+	MLP int
+	// DriftEvery mutates a third of the pattern templates every N
+	// visits (0 disables); models SAT Solver's evolving dataset.
+	DriftEvery int64
+	// Cores is the number of cores emitting the trace.
+	Cores int
+}
+
+// Validate checks profile sanity.
+func (p Profile) Validate() error {
+	if len(p.Classes) == 0 {
+		return fmt.Errorf("synth %s: no classes", p.Name)
+	}
+	total := 0.0
+	for _, c := range p.Classes {
+		if c.Weight < 0 {
+			return fmt.Errorf("synth %s: negative class weight", p.Name)
+		}
+		total += c.Weight
+		if !c.FullRegion && (c.MinBlocks < 1 || c.MaxBlocks > BlocksPerRegion || c.MinBlocks > c.MaxBlocks) {
+			return fmt.Errorf("synth %s: class block range [%d,%d] invalid", p.Name, c.MinBlocks, c.MaxBlocks)
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("synth %s: zero total class weight", p.Name)
+	}
+	if p.DatasetBytes < RegionBytes {
+		return fmt.Errorf("synth %s: dataset smaller than one region", p.Name)
+	}
+	if p.Concurrency < 1 || p.PatternsPerClass < 1 || p.Cores < 1 {
+		return fmt.Errorf("synth %s: concurrency/patterns/cores must be positive", p.Name)
+	}
+	return nil
+}
+
+// visit is one in-flight pattern activation.
+type visit struct {
+	region  int64
+	pc      memtrace.PC
+	blocks  []uint8 // emission order
+	next    int
+	emitted uint64 // bitset of already emitted blocks (for repeats)
+	core    uint8
+}
+
+// Generator emits trace records; it implements memtrace.Source.
+type Generator struct {
+	prof      Profile
+	rng       *rand.Rand
+	seed      int64
+	regions   int64
+	active    []*visit
+	recent    []int64 // ring of recently visited regions
+	recPos    int
+	started   int64 // visits started (drift epoch counter)
+	nextCPU   uint8
+	focus     int // index of the visit currently emitting a burst
+	burstLeft int
+}
+
+// NewGenerator builds a generator for the profile at the given
+// capacity scale (1.0 = paper scale). Deterministic for a given seed.
+func NewGenerator(prof Profile, seed int64, scale float64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("synth: scale %g out of (0,1]", scale)
+	}
+	regions := int64(float64(prof.DatasetBytes)*scale) / RegionBytes
+	if regions < 16 {
+		regions = 16
+	}
+	conc := int(float64(prof.Concurrency) * scale)
+	if conc < 32 {
+		conc = 32
+	}
+	prof.Concurrency = conc
+	if prof.BurstLen <= 0 {
+		prof.BurstLen = 8
+	}
+	recWin := prof.RecencyWindow
+	if recWin <= 0 {
+		recWin = 4 * conc
+	}
+	g := &Generator{
+		prof:    prof,
+		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		regions: regions,
+		recent:  make([]int64, 0, recWin),
+	}
+	for i := 0; i < conc; i++ {
+		g.active = append(g.active, g.newVisit())
+	}
+	return g, nil
+}
+
+// Profile returns the (scaled) profile in use.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Regions returns the scaled dataset size in regions.
+func (g *Generator) Regions() int64 { return g.regions }
+
+// Next implements memtrace.Source. The generator never exhausts; wrap
+// it in memtrace.Limit to bound a run.
+func (g *Generator) Next() (memtrace.Record, bool) {
+	if g.burstLeft <= 0 {
+		g.focus = g.rng.Intn(len(g.active))
+		g.burstLeft = 1 + g.rng.Intn(2*g.prof.BurstLen-1)
+	}
+	g.burstLeft--
+	v := g.active[g.focus]
+
+	var block uint8
+	if v.next > 0 && g.rng.Float64() < g.prof.RepeatFrac {
+		// Intra-page temporal reuse: re-touch an emitted block.
+		block = v.blocks[g.rng.Intn(v.next)]
+	} else {
+		block = v.blocks[v.next]
+		v.next++
+	}
+	v.emitted |= 1 << block
+
+	rec := memtrace.Record{
+		PC:    v.pc,
+		Addr:  memtrace.Addr(v.region*RegionBytes + int64(block)*64),
+		Core:  v.core,
+		Write: g.rng.Float64() < g.prof.WriteFrac,
+		Gap:   uint32(1 + g.rng.Intn(2*g.prof.GapMean)),
+	}
+
+	if v.next >= len(v.blocks) {
+		// Visit complete: recycle the slot and end the burst.
+		g.remember(v.region)
+		*v = *g.newVisit()
+		g.burstLeft = 0
+	}
+	return rec, true
+}
+
+func (g *Generator) remember(region int64) {
+	if cap(g.recent) == 0 {
+		return
+	}
+	if len(g.recent) < cap(g.recent) {
+		g.recent = append(g.recent, region)
+		return
+	}
+	g.recent[g.recPos] = region
+	g.recPos = (g.recPos + 1) % len(g.recent)
+}
+
+// pickClass maps a uniform sample in [0,1) to a class index by
+// weight.
+func (g *Generator) pickClass(u float64) int {
+	total := 0.0
+	for _, c := range g.prof.Classes {
+		total += c.Weight
+	}
+	x := u * total
+	for i, c := range g.prof.Classes {
+		x -= c.Weight
+		if x < 0 {
+			return i
+		}
+	}
+	return len(g.prof.Classes) - 1
+}
+
+// crossPatternFrac is the probability a visit uses a pattern other
+// than its region's dominant one. Structured data is mostly accessed
+// by the code that owns it (§3.1), but not exclusively.
+const crossPatternFrac = 0.10
+
+// newVisit starts a new pattern activation.
+//
+// The region is chosen first; each region has a *dominant* pattern
+// (derived from a region hash) so that revisits re-run the same code
+// against the same data — the code/data correlation the paper's
+// predictor exploits and that also gives block-granularity caches
+// their temporal reuse.
+func (g *Generator) newVisit() *visit {
+	g.started++
+
+	var region int64
+	if len(g.recent) > 0 && g.rng.Float64() < g.prof.RevisitFrac {
+		region = g.recent[g.rng.Intn(len(g.recent))]
+	} else {
+		region = g.zipfRegion()
+	}
+
+	var classIdx, patternID int
+	if g.rng.Float64() < crossPatternFrac {
+		classIdx = g.pickClass(g.rng.Float64())
+		patternID = g.rng.Intn(g.prof.PatternsPerClass)
+	} else {
+		rh := uint64(region)*0xff51afd7ed558ccd ^ uint64(g.seed)
+		classIdx = g.pickClass(float64(rh%(1<<20)) / (1 << 20))
+		patternID = int((rh >> 20) % uint64(g.prof.PatternsPerClass))
+	}
+
+	epoch := int64(0)
+	if g.prof.DriftEvery > 0 {
+		// A third of the patterns change template each epoch,
+		// modelling a dataset built on the fly (SAT Solver, §6.2).
+		e := g.started / g.prof.DriftEvery
+		if (int64(patternID)+e)%3 == 0 {
+			epoch = e
+		}
+	}
+	_, order := g.template(classIdx, patternID, epoch)
+
+	pc := memtrace.PC(0x400000 + uint64(classIdx)*0x10000 + uint64(patternID)*4)
+	core := g.nextCPU
+	g.nextCPU = (g.nextCPU + 1) % uint8(g.prof.Cores)
+	return &visit{region: region, pc: pc, blocks: order, core: core}
+}
+
+// template returns the deterministic footprint for a (class, pattern,
+// epoch) triple: the bitset and the emission order. The first element
+// of the order defines the (PC, offset) key the predictor will see on
+// the triggering miss.
+func (g *Generator) template(classIdx, patternID int, epoch int64) (bits uint64, order []uint8) {
+	c := g.prof.Classes[classIdx]
+	h := rand.New(rand.NewSource(g.seed ^ int64(classIdx)<<40 ^ int64(patternID)<<8 ^ epoch<<52 ^ 0x5bd1e995))
+	if c.FullRegion {
+		order = make([]uint8, BlocksPerRegion)
+		for i := range order {
+			order[i] = uint8(i)
+		}
+		return ^uint64(0), order
+	}
+	size := c.MinBlocks
+	if c.MaxBlocks > c.MinBlocks {
+		size += h.Intn(c.MaxBlocks - c.MinBlocks + 1)
+	}
+	// Templates live within one 32-block (2KB) half of the region so
+	// that class density bands translate directly into 2KB-page
+	// density buckets (Fig. 4).
+	half := uint8(h.Intn(2)) * 32
+	window := 32
+	if size > window {
+		size = window
+	}
+	if c.Sequential {
+		start := h.Intn(window - size + 1)
+		order = make([]uint8, size)
+		for i := range order {
+			order[i] = half + uint8(start+i)
+		}
+	} else {
+		perm := h.Perm(window)
+		order = make([]uint8, size)
+		for i := range order {
+			order[i] = half + uint8(perm[i])
+		}
+	}
+	for _, b := range order {
+		bits |= 1 << b
+	}
+	return bits, order
+}
+
+// zipfRegion draws a region with Zipf-like popularity skew using the
+// power-law inverse-CDF approximation, then decorrelates rank from
+// address with a multiplicative hash so hot regions spread across
+// cache sets.
+func (g *Generator) zipfRegion() int64 {
+	u := g.rng.Float64()
+	var rank int64
+	if g.prof.ZipfTheta <= 0 {
+		rank = int64(u * float64(g.regions))
+	} else {
+		rank = int64(math.Pow(u, 1/(1-g.prof.ZipfTheta)) * float64(g.regions))
+	}
+	if rank >= g.regions {
+		rank = g.regions - 1
+	}
+	// Golden-ratio multiplicative hash, folded into the region count.
+	h := uint64(rank) * 0x9E3779B97F4A7C15
+	return int64(h % uint64(g.regions))
+}

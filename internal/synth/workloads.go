@@ -1,0 +1,212 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Workload names, matching the paper's evaluation set (§5.3):
+// CloudSuite 1.0 scale-out workloads plus a multiprogrammed SPEC
+// INT2006 mix.
+const (
+	DataServing     = "data-serving"
+	MapReduce       = "mapreduce"
+	Multiprogrammed = "multiprogrammed"
+	SATSolver       = "sat-solver"
+	WebFrontend     = "web-frontend"
+	WebSearch       = "web-search"
+)
+
+// profiles is the registry of calibrated workload models. Pattern
+// mixes are calibrated against the page-density histograms of Fig. 4;
+// dataset sizes and gaps against the paper's §5.3 (memory footprints
+// exceeding 16-32GB, per-core off-chip bandwidth of 0.6-1.6GB/s).
+var profiles = map[string]Profile{
+	// Data Serving (Cassandra): the paper's bandwidth monster — high
+	// page density, enormous weakly-skewed dataset, misses even at
+	// 512MB, and the highest off-chip demand (Fig. 7 is split out just
+	// for it).
+	DataServing: {
+		Name: DataServing,
+		Classes: []Class{
+			{Weight: 0.10, MinBlocks: 1, MaxBlocks: 1},
+			{Weight: 0.08, MinBlocks: 2, MaxBlocks: 3},
+			{Weight: 0.10, MinBlocks: 4, MaxBlocks: 7, Sequential: true},
+			{Weight: 0.18, MinBlocks: 8, MaxBlocks: 15, Sequential: true},
+			{Weight: 0.24, MinBlocks: 16, MaxBlocks: 31, Sequential: true},
+			{Weight: 0.30, MinBlocks: 32, MaxBlocks: 32, Sequential: true},
+		},
+		PatternsPerClass: 48,
+		DatasetBytes:     24 << 30,
+		Concurrency:      20000,
+		BurstLen:         16,
+		RevisitFrac:      0.26,
+		RecencyWindow:    2500,
+		ZipfTheta:        0.25,
+		WriteFrac:        0.32,
+		RepeatFrac:       0.26,
+		GapMean:          140,
+		MLP:              2,
+		Cores:            16,
+	},
+	// MapReduce (Hadoop): very low page density at small caches — the
+	// singleton-heavy workload where block-based capacity management
+	// wins at 64-128MB (§6.2).
+	MapReduce: {
+		Name: MapReduce,
+		Classes: []Class{
+			{Weight: 0.38, MinBlocks: 1, MaxBlocks: 1},
+			{Weight: 0.18, MinBlocks: 2, MaxBlocks: 3},
+			{Weight: 0.12, MinBlocks: 4, MaxBlocks: 7},
+			{Weight: 0.10, MinBlocks: 8, MaxBlocks: 15, Sequential: true},
+			{Weight: 0.12, MinBlocks: 16, MaxBlocks: 31, Sequential: true},
+			{Weight: 0.10, MinBlocks: 32, MaxBlocks: 32, Sequential: true},
+		},
+		PatternsPerClass: 64,
+		DatasetBytes:     24 << 30,
+		Concurrency:      24000,
+		BurstLen:         8,
+		RevisitFrac:      0.26,
+		RecencyWindow:    3000,
+		ZipfTheta:        0.20,
+		WriteFrac:        0.30,
+		RepeatFrac:       0.22,
+		GapMean:          240,
+		MLP:              2,
+		Cores:            16,
+	},
+	// Multiprogrammed SPEC INT2006 mix: strongly skewed references
+	// with a working set a 512MB cache captures (§6.1) and irregular
+	// density trend (Fig. 4).
+	Multiprogrammed: {
+		Name: Multiprogrammed,
+		Classes: []Class{
+			{Weight: 0.22, MinBlocks: 1, MaxBlocks: 1},
+			{Weight: 0.12, MinBlocks: 2, MaxBlocks: 3},
+			{Weight: 0.14, MinBlocks: 4, MaxBlocks: 7},
+			{Weight: 0.16, MinBlocks: 8, MaxBlocks: 15},
+			{Weight: 0.16, MinBlocks: 16, MaxBlocks: 31, Sequential: true},
+			{Weight: 0.20, MinBlocks: 32, MaxBlocks: 32, Sequential: true},
+		},
+		PatternsPerClass: 96,
+		DatasetBytes:     1536 << 20, // working set ~captured at 512MB
+		Concurrency:      12000,
+		BurstLen:         6,
+		RevisitFrac:      0.45,
+		ZipfTheta:        0.65,
+		WriteFrac:        0.28,
+		RepeatFrac:       0.22,
+		GapMean:          400,
+		MLP:              3,
+		Cores:            16,
+	},
+	// SAT Solver (symbolic execution): builds its dataset on the fly
+	// throughout execution, which interferes with prediction — the one
+	// workload where Footprint Cache's miss ratio visibly trails the
+	// page-based design at small capacities (§6.2). Modeled with
+	// template drift.
+	SATSolver: {
+		Name: SATSolver,
+		Classes: []Class{
+			{Weight: 0.28, MinBlocks: 1, MaxBlocks: 1},
+			{Weight: 0.20, MinBlocks: 2, MaxBlocks: 3},
+			{Weight: 0.22, MinBlocks: 4, MaxBlocks: 7},
+			{Weight: 0.14, MinBlocks: 8, MaxBlocks: 15},
+			{Weight: 0.10, MinBlocks: 16, MaxBlocks: 31, Sequential: true},
+			{Weight: 0.06, MinBlocks: 32, MaxBlocks: 32, Sequential: true},
+		},
+		PatternsPerClass: 80,
+		DatasetBytes:     12 << 30,
+		Concurrency:      20000,
+		BurstLen:         8,
+		RevisitFrac:      0.30,
+		ZipfTheta:        0.30,
+		WriteFrac:        0.35,
+		RepeatFrac:       0.16,
+		GapMean:          300,
+		MLP:              2,
+		DriftEvery:       8000,
+		Cores:            16,
+	},
+	// Web Frontend (PHP/web serving): moderate density, mid-size
+	// dataset.
+	WebFrontend: {
+		Name: WebFrontend,
+		Classes: []Class{
+			{Weight: 0.18, MinBlocks: 1, MaxBlocks: 1},
+			{Weight: 0.12, MinBlocks: 2, MaxBlocks: 3},
+			{Weight: 0.16, MinBlocks: 4, MaxBlocks: 7},
+			{Weight: 0.20, MinBlocks: 8, MaxBlocks: 15, Sequential: true},
+			{Weight: 0.18, MinBlocks: 16, MaxBlocks: 31, Sequential: true},
+			{Weight: 0.16, MinBlocks: 32, MaxBlocks: 32, Sequential: true},
+		},
+		PatternsPerClass: 64,
+		DatasetBytes:     8 << 30,
+		Concurrency:      18000,
+		BurstLen:         10,
+		RevisitFrac:      0.32,
+		ZipfTheta:        0.40,
+		WriteFrac:        0.30,
+		RepeatFrac:       0.20,
+		GapMean:          270,
+		MLP:              2,
+		Cores:            16,
+	},
+	// Web Search (Nutch): dense index traversals, the friendliest
+	// spatial locality in the suite.
+	WebSearch: {
+		Name: WebSearch,
+		Classes: []Class{
+			{Weight: 0.08, MinBlocks: 1, MaxBlocks: 1},
+			{Weight: 0.07, MinBlocks: 2, MaxBlocks: 3},
+			{Weight: 0.12, MinBlocks: 4, MaxBlocks: 7, Sequential: true},
+			{Weight: 0.20, MinBlocks: 8, MaxBlocks: 15, Sequential: true},
+			{Weight: 0.28, MinBlocks: 16, MaxBlocks: 31, Sequential: true},
+			{Weight: 0.25, MinBlocks: 32, MaxBlocks: 32, Sequential: true},
+		},
+		PatternsPerClass: 48,
+		DatasetBytes:     6 << 30,
+		Concurrency:      16000,
+		BurstLen:         12,
+		RevisitFrac:      0.35,
+		ZipfTheta:        0.45,
+		WriteFrac:        0.25,
+		RepeatFrac:       0.20,
+		GapMean:          320,
+		MLP:              2,
+		Cores:            16,
+	},
+}
+
+// ByName returns the calibrated profile for a workload name.
+func ByName(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("synth: unknown workload %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names returns all workload names in the paper's presentation order.
+func Names() []string {
+	return []string{DataServing, MapReduce, Multiprogrammed, SATSolver, WebFrontend, WebSearch}
+}
+
+// All returns every profile in presentation order.
+func All() []Profile {
+	out := make([]Profile, 0, len(profiles))
+	for _, n := range Names() {
+		out = append(out, profiles[n])
+	}
+	return out
+}
+
+// sortedNames is used by tests to detect registry/Names drift.
+func sortedNames() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

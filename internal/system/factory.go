@@ -1,0 +1,137 @@
+package system
+
+import (
+	"fmt"
+
+	"fpcache/internal/core"
+	"fpcache/internal/dcache"
+)
+
+// Design kind identifiers shared by the facade, the experiment
+// drivers, and the CLIs.
+const (
+	KindBaseline             = "baseline"
+	KindBlock                = "block"
+	KindPage                 = "page"
+	KindSubblock             = "subblock"
+	KindFootprint            = "footprint"
+	KindFootprintNoSingleton = "footprint-nosingleton"
+	KindFootprintUnion       = "footprint-union"
+	KindHotPage              = "hotpage"
+	KindIdeal                = "ideal"
+)
+
+// DesignSpec describes a cache design at a paper-scale capacity and a
+// run scale.
+type DesignSpec struct {
+	Kind            string
+	PaperCapacityMB int
+	// Scale is the capacity scale factor (1.0 = paper scale).
+	Scale float64
+	// PageBytes defaults to 2KB.
+	PageBytes int
+	// FHTEntries defaults to 16K (Footprint designs only).
+	FHTEntries int
+	// Ways defaults to 16 (page-granularity designs).
+	Ways int
+}
+
+func (s DesignSpec) withDefaults() DesignSpec {
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	if s.PageBytes == 0 {
+		s.PageBytes = 2048
+	}
+	if s.FHTEntries == 0 {
+		s.FHTEntries = 16 * 1024
+	}
+	if s.Ways == 0 {
+		s.Ways = 16
+	}
+	if s.PaperCapacityMB == 0 {
+		s.PaperCapacityMB = 256
+	}
+	return s
+}
+
+// CapacityBytes returns the scaled capacity.
+func (s DesignSpec) CapacityBytes() int64 {
+	s = s.withDefaults()
+	return int64(float64(int64(s.PaperCapacityMB)<<20) * s.Scale)
+}
+
+// TagLatencyFor returns the paper's Table 4 SRAM lookup latency in CPU
+// cycles for a design kind at a paper-scale capacity. Scaled runs
+// stand in for paper-sized caches, so they pay paper-sized latencies.
+func TagLatencyFor(kind string, paperMB int) int {
+	pick := func(l64, l128, l256, l512 int) int {
+		switch {
+		case paperMB <= 64:
+			return l64
+		case paperMB <= 128:
+			return l128
+		case paperMB <= 256:
+			return l256
+		default:
+			return l512
+		}
+	}
+	switch kind {
+	case KindFootprint, KindFootprintNoSingleton, KindFootprintUnion, KindSubblock:
+		return pick(4, 6, 9, 11)
+	case KindPage, KindHotPage:
+		return pick(4, 5, 6, 9)
+	case KindBlock:
+		return pick(9, 9, 9, 11)
+	default:
+		return 0
+	}
+}
+
+// BuildDesign constructs the specified cache design.
+func BuildDesign(spec DesignSpec) (dcache.Design, error) {
+	spec = spec.withDefaults()
+	capBytes := spec.CapacityBytes()
+	lat := TagLatencyFor(spec.Kind, spec.PaperCapacityMB)
+	geom := dcache.PageGeometry{CapacityBytes: capBytes, PageBytes: spec.PageBytes, Ways: spec.Ways}
+	switch spec.Kind {
+	case KindBaseline:
+		return dcache.NewBaseline(), nil
+	case KindIdeal:
+		return dcache.NewIdeal(), nil
+	case KindPage:
+		return dcache.NewPageCache(dcache.PageCacheConfig{Geometry: geom, TagCycles: lat})
+	case KindSubblock:
+		return dcache.NewSubblockCache(dcache.SubblockConfig{Geometry: geom, TagCycles: lat})
+	case KindBlock:
+		entries, ways, mmLat := dcache.MissMapParams(spec.PaperCapacityMB)
+		entries = int(float64(entries) * spec.Scale)
+		entries -= entries % ways
+		if entries < ways {
+			entries = ways
+		}
+		return dcache.NewBlockCache(dcache.BlockCacheConfig{
+			CapacityBytes:  capBytes,
+			MissMapEntries: entries,
+			MissMapWays:    ways,
+			TagCycles:      mmLat,
+		})
+	case KindFootprint, KindFootprintNoSingleton, KindFootprintUnion:
+		fc := core.Default(capBytes)
+		fc.Geometry = geom
+		fc.TagCycles = lat
+		fc.FHTEntries = spec.FHTEntries
+		fc.SingletonOpt = spec.Kind != KindFootprintNoSingleton
+		if spec.Kind == KindFootprintUnion {
+			fc.Feedback = core.FeedbackUnion
+		}
+		return core.New(fc)
+	case KindHotPage:
+		// §6.7: CHOP found 4KB pages optimal.
+		geom.PageBytes = 4096
+		return dcache.NewHotPageCache(dcache.HotPageConfig{Geometry: geom, TagCycles: lat})
+	default:
+		return nil, fmt.Errorf("system: unknown design kind %q", spec.Kind)
+	}
+}

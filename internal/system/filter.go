@@ -1,0 +1,84 @@
+package system
+
+import (
+	"fpcache/internal/memtrace"
+	"fpcache/internal/sram"
+)
+
+// L2Filter adapts a raw (L1-level) reference stream into the L2-miss
+// stream a DRAM cache observes: demand references that hit in the
+// modelled SRAM hierarchy are absorbed, misses pass through with
+// their PC (the Footprint predictor needs the PC of the L2-missing
+// instruction, §7 "Transfer of PC"), and dirty L2 evictions emerge as
+// write records.
+//
+// The calibrated generators in internal/synth already emit L2-miss
+// streams, so the filter is optional; it exists for full-hierarchy
+// studies and for replaying external raw traces.
+type L2Filter struct {
+	src memtrace.Source
+	l2  *sram.Cache
+
+	queue []memtrace.Record // pending writebacks
+	// Absorbed counts references that hit in the filter.
+	Absorbed uint64
+	// Writebacks counts dirty evictions forwarded downstream.
+	Writebacks uint64
+
+	lastPC   memtrace.PC
+	lastCore uint8
+}
+
+// NewL2Filter wraps src with an L2 model of the given geometry.
+func NewL2Filter(src memtrace.Source, cfg sram.CacheConfig) (*L2Filter, error) {
+	l2, err := sram.NewCache(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f := &L2Filter{src: src, l2: l2}
+	l2.WritebackFn = func(addr memtrace.Addr) {
+		f.Writebacks++
+		// A writeback is a posted store of the victim block; it
+		// carries the PC/core of the access that displaced it, which
+		// is the information a real L2 would have at hand.
+		f.queue = append(f.queue, memtrace.Record{
+			PC:    f.lastPC,
+			Addr:  addr,
+			Core:  f.lastCore,
+			Write: true,
+		})
+	}
+	return f, nil
+}
+
+// Next implements memtrace.Source: it yields L2 misses and dirty
+// writebacks, accumulating absorbed references into the Gap of the
+// next emitted record so instruction counts are preserved.
+func (f *L2Filter) Next() (memtrace.Record, bool) {
+	var extraGap uint32
+	for {
+		if len(f.queue) > 0 {
+			rec := f.queue[0]
+			f.queue = f.queue[1:]
+			rec.Gap += extraGap
+			return rec, true
+		}
+		rec, ok := f.src.Next()
+		if !ok {
+			return memtrace.Record{}, false
+		}
+		f.lastPC, f.lastCore = rec.PC, rec.Core
+		hit := f.l2.Access(rec.Addr, rec.Write)
+		if hit {
+			// Absorbed: its instructions fold into the next record.
+			f.Absorbed++
+			extraGap += rec.Gap + 1
+			continue
+		}
+		rec.Gap += extraGap
+		return rec, true
+	}
+}
+
+// HitRatio returns the filter's hit ratio.
+func (f *L2Filter) HitRatio() float64 { return f.l2.HitRatio() }

@@ -1,0 +1,124 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpcache/internal/memtrace"
+	"fpcache/internal/sram"
+)
+
+func l2cfg() sram.CacheConfig {
+	return sram.CacheConfig{SizeBytes: 64 * 1024, BlockSize: 64, Ways: 8}
+}
+
+func TestL2FilterAbsorbsRepeats(t *testing.T) {
+	// A stream that re-touches the same 10 blocks repeatedly: all but
+	// the cold misses must be absorbed.
+	var recs []memtrace.Record
+	for round := 0; round < 20; round++ {
+		for b := 0; b < 10; b++ {
+			recs = append(recs, memtrace.Record{PC: 0x400000, Addr: memtrace.Addr(b * 64), Gap: 5})
+		}
+	}
+	f, err := NewL2Filter(memtrace.NewSlice(recs), l2cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := memtrace.Collect(f, 0)
+	if len(out) != 10 {
+		t.Fatalf("filter passed %d records, want 10 cold misses", len(out))
+	}
+	if f.Absorbed != uint64(len(recs)-10) {
+		t.Fatalf("absorbed = %d", f.Absorbed)
+	}
+}
+
+func TestL2FilterPreservesInstructions(t *testing.T) {
+	// Mix hits and misses throughout so absorbed instructions always
+	// have a later miss to fold into: alternate a hot block with cold
+	// ones.
+	var recs []memtrace.Record
+	var totalInstr uint64
+	for i := 0; i < 1000; i++ {
+		gap := uint32(1 + i%17)
+		addr := memtrace.Addr(0) // hot block: hits after first touch
+		if i%2 == 0 {
+			addr = memtrace.Addr((1000 + i) * 64) // cold: always misses
+		}
+		recs = append(recs, memtrace.Record{Addr: addr, Gap: gap})
+		totalInstr += uint64(gap) + 1
+	}
+	f, err := NewL2Filter(memtrace.NewSlice(recs), l2cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var passedInstr uint64
+	for {
+		rec, ok := f.Next()
+		if !ok {
+			break
+		}
+		passedInstr += uint64(rec.Gap) + 1
+	}
+	// Absorbed references fold their instructions into the gaps of
+	// later records; only the trailing absorbed record may be lost.
+	if passedInstr > totalInstr || passedInstr < totalInstr-64 {
+		t.Fatalf("instructions: passed %d of %d", passedInstr, totalInstr)
+	}
+}
+
+func TestL2FilterEmitsWritebacks(t *testing.T) {
+	// Conflict misses over dirty blocks must surface write records.
+	var recs []memtrace.Record
+	// 64KB, 8-way, 64B blocks -> 128 sets. Write blocks that all map
+	// to set 0 (stride 128*64 = 8KB) to overflow one set.
+	for i := 0; i < 16; i++ {
+		recs = append(recs, memtrace.Record{Addr: memtrace.Addr(i * 8192), Write: true, Gap: 1})
+	}
+	f, err := NewL2Filter(memtrace.NewSlice(recs), l2cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := memtrace.Collect(f, 0)
+	if f.Writebacks == 0 {
+		t.Fatal("no writebacks from dirty conflict evictions")
+	}
+	writes := 0
+	for _, r := range out {
+		if r.Write {
+			writes++
+		}
+	}
+	// Both the demand stores (misses) and the writebacks are writes.
+	if writes <= 16 {
+		t.Fatalf("writes passed = %d, want demand stores + writebacks", writes)
+	}
+}
+
+func TestL2FilterFeedsDRAMCache(t *testing.T) {
+	// End-to-end: raw trace -> L2 filter -> footprint cache. The raw
+	// stream has short-range reuse (a 1200-block working set against
+	// a 1024-block L2) so the filter absorbs a meaningful share.
+	rng := rand.New(rand.NewSource(3))
+	var recs []memtrace.Record
+	for i := 0; i < 20000; i++ {
+		recs = append(recs, memtrace.Record{
+			PC:   memtrace.PC(0x400000 + (i%16)*4),
+			Addr: memtrace.Addr(rng.Intn(1200) * 64),
+			Gap:  3,
+		})
+	}
+	f, err := NewL2Filter(memtrace.NewSlice(recs), l2cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDesign(DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: 1.0 / 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunFunctional(d, f, 0, 0)
+	if res.Refs == 0 || res.Refs >= 20000 {
+		t.Fatalf("filtered refs = %d", res.Refs)
+	}
+}

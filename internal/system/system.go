@@ -1,0 +1,140 @@
+// Package system assembles pods and runs simulations in the two modes
+// the paper's methodology uses (§5.4): fast functional (trace-driven)
+// simulation for miss ratios, traffic, and predictor studies, and
+// event-driven timing simulation for performance and energy.
+package system
+
+import (
+	"fpcache/internal/core"
+	"fpcache/internal/dcache"
+	"fpcache/internal/dram"
+	"fpcache/internal/energy"
+	"fpcache/internal/memtrace"
+)
+
+// DRAMConfigsFor returns the off-chip and stacked DRAM configurations
+// tuned per design, following §5.2: the block-based design (and the
+// blockless baseline/ideal points) use close-page policy and
+// fine-grained interleaving because their access streams have no row
+// locality; page-granularity designs use open-page and 2KB
+// interleaving.
+func DRAMConfigsFor(designName string) (off, stk dram.Config) {
+	off = dram.OffChipDDR3_1600()
+	stk = dram.StackedDDR3_3200()
+	switch designName {
+	case "block", "baseline", "ideal":
+		off.Policy = dram.ClosePage
+		off.InterleaveBytes = 64
+		stk.Policy = dram.ClosePage
+		// The block design's set-to-row placement already spreads
+		// consecutive blocks across rows; rows rotate channels.
+		stk.InterleaveBytes = 2048
+	default:
+		off.Policy = dram.OpenPage
+		off.InterleaveBytes = 2048
+		stk.Policy = dram.OpenPage
+		stk.InterleaveBytes = 2048
+	}
+	return off, stk
+}
+
+// FunctionalResult summarizes a functional run. All counters exclude
+// the warmup prefix.
+type FunctionalResult struct {
+	Design       string
+	Refs         uint64
+	Instructions uint64
+	Counters     dcache.Counters
+	OffChip      dram.Stats
+	Stacked      dram.Stats
+	// Footprint carries predictor statistics when the design is a
+	// Footprint Cache, nil otherwise.
+	Footprint *core.Stats
+}
+
+// MissRatio is the DRAM cache miss ratio.
+func (r FunctionalResult) MissRatio() float64 { return r.Counters.MissRatio() }
+
+// OffChipBytesPerRef normalizes off-chip traffic by references — the
+// basis of Figure 5b once divided by the baseline's value.
+func (r FunctionalResult) OffChipBytesPerRef() float64 {
+	if r.Refs == 0 {
+		return 0
+	}
+	return float64(r.OffChip.DataBytes()) / float64(r.Refs)
+}
+
+// OffChipEnergy returns the off-chip dynamic energy breakdown.
+func (r FunctionalResult) OffChipEnergy() energy.Breakdown {
+	return energy.OffChip().Of(r.OffChip)
+}
+
+// StackedEnergy returns the stacked dynamic energy breakdown.
+func (r FunctionalResult) StackedEnergy() energy.Breakdown {
+	return energy.Stacked().Of(r.Stacked)
+}
+
+// RunFunctional drives records from src through the design,
+// accounting DRAM operations in functional row trackers. The first
+// warmupRefs records warm the structures without being measured —
+// mirroring the paper's use of half of each trace for warmup (§5.4).
+// maxRefs <= 0 drains the source.
+func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int) FunctionalResult {
+	offCfg, stkCfg := DRAMConfigsFor(design.Name())
+	offT := dram.NewTracker(offCfg)
+	stkT := dram.NewTracker(stkCfg)
+
+	run := func(n int) uint64 {
+		var refs, instrs uint64
+		for {
+			if n > 0 && refs >= uint64(n) {
+				break
+			}
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			refs++
+			instrs += uint64(rec.Gap) + 1
+			out := design.Access(rec)
+			applyOps(out.Ops, offT, stkT)
+		}
+		return instrs
+	}
+
+	if warmupRefs > 0 {
+		run(warmupRefs)
+	}
+	ctr0 := design.Counters()
+	off0, stk0 := offT.Stats, stkT.Stats
+	var fp0 core.Stats
+	fp, isFP := design.(*core.Cache)
+	if isFP {
+		fp0 = fp.Extra()
+	}
+
+	res := FunctionalResult{Design: design.Name()}
+	res.Instructions = run(maxRefs)
+	res.Counters = design.Counters().Sub(ctr0)
+	res.Refs = res.Counters.Accesses()
+	res.OffChip = offT.Stats.Sub(off0)
+	res.Stacked = stkT.Stats.Sub(stk0)
+	if isFP {
+		s := fp.Extra().Sub(fp0)
+		res.Footprint = &s
+	}
+	return res
+}
+
+// applyOps replays an outcome's operations on the functional
+// trackers. Ops are ordered so dependencies precede dependents, so
+// in-order replay respects row-buffer causality.
+func applyOps(ops []dcache.Op, offT, stkT *dram.Tracker) {
+	for _, op := range ops {
+		t := stkT
+		if op.Level == dcache.OffChip {
+			t = offT
+		}
+		t.Access(op.Addr, op.Bytes, op.Write)
+	}
+}

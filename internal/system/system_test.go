@@ -1,0 +1,250 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpcache/internal/dcache"
+	"fpcache/internal/dram"
+	"fpcache/internal/memtrace"
+)
+
+// randomTrace builds a deterministic pseudo-random trace.
+func randomTrace(n int, seed int64, cores int) *memtrace.Slice {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]memtrace.Record, n)
+	for i := range recs {
+		recs[i] = memtrace.Record{
+			PC:    memtrace.PC(0x400000 + rng.Intn(128)*4),
+			Addr:  memtrace.Addr(rng.Intn(1<<20) * 64),
+			Core:  uint8(rng.Intn(cores)),
+			Write: rng.Intn(3) == 0,
+			Gap:   uint32(1 + rng.Intn(100)),
+		}
+	}
+	return memtrace.NewSlice(recs)
+}
+
+func TestDRAMConfigsPerDesign(t *testing.T) {
+	off, stk := DRAMConfigsFor("block")
+	if off.Policy != dram.ClosePage || stk.Policy != dram.ClosePage {
+		t.Fatal("block design must run close-page (§5.2)")
+	}
+	if off.InterleaveBytes != 64 {
+		t.Fatal("block design off-chip interleave must be 64B")
+	}
+	off, stk = DRAMConfigsFor("footprint")
+	if off.Policy != dram.OpenPage || stk.Policy != dram.OpenPage {
+		t.Fatal("footprint design must run open-page (§5.2)")
+	}
+	if off.InterleaveBytes != 2048 || stk.InterleaveBytes != 2048 {
+		t.Fatal("footprint design must interleave at page granularity")
+	}
+	if err := off.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFunctionalCountsAndTraffic(t *testing.T) {
+	d := dcache.NewBaseline()
+	res := RunFunctional(d, randomTrace(1000, 1, 16), 0, 1000)
+	if res.Refs != 1000 {
+		t.Fatalf("refs = %d", res.Refs)
+	}
+	if res.Counters.Misses != 1000 {
+		t.Fatalf("baseline misses = %d", res.Counters.Misses)
+	}
+	// Baseline moves exactly 64B per reference.
+	if got := res.OffChipBytesPerRef(); got != 64 {
+		t.Fatalf("baseline bytes/ref = %g", got)
+	}
+	if res.Stacked.DataBytes() != 0 {
+		t.Fatal("baseline touched stacked DRAM")
+	}
+	if res.Instructions == 0 {
+		t.Fatal("instructions not counted")
+	}
+}
+
+func TestRunFunctionalWarmupExcluded(t *testing.T) {
+	// Same trace, same design: measuring the second half must not
+	// include the first half's counters.
+	full := RunFunctional(dcache.NewBaseline(), randomTrace(2000, 2, 16), 0, 2000)
+	half := RunFunctional(dcache.NewBaseline(), randomTrace(2000, 2, 16), 1000, 1000)
+	if half.Refs != 1000 {
+		t.Fatalf("measured refs = %d", half.Refs)
+	}
+	if half.Counters.Misses >= full.Counters.Misses {
+		t.Fatal("warmup not excluded from counters")
+	}
+	if half.OffChip.DataBytes() >= full.OffChip.DataBytes() {
+		t.Fatal("warmup not excluded from DRAM stats")
+	}
+}
+
+func TestRunFunctionalFootprintStats(t *testing.T) {
+	d, err := BuildDesign(DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: 1.0 / 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunFunctional(d, randomTrace(5000, 3, 16), 1000, 4000)
+	if res.Footprint == nil {
+		t.Fatal("footprint stats missing")
+	}
+	if res.Design != "footprint" {
+		t.Fatalf("design = %q", res.Design)
+	}
+	// Non-footprint designs must not report them.
+	res2 := RunFunctional(dcache.NewIdeal(), randomTrace(100, 3, 16), 0, 100)
+	if res2.Footprint != nil {
+		t.Fatal("ideal reported footprint stats")
+	}
+}
+
+func TestBuildDesignAllKinds(t *testing.T) {
+	kinds := []string{
+		KindBaseline, KindBlock, KindPage, KindSubblock,
+		KindFootprint, KindFootprintNoSingleton, KindHotPage, KindIdeal,
+	}
+	for _, k := range kinds {
+		d, err := BuildDesign(DesignSpec{Kind: k, PaperCapacityMB: 128, Scale: 1.0 / 16})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if d.MetadataBits() < 0 {
+			t.Fatalf("%s: negative metadata", k)
+		}
+	}
+	if _, err := BuildDesign(DesignSpec{Kind: "bogus"}); err == nil {
+		t.Fatal("bogus design accepted")
+	}
+}
+
+func TestTagLatencyForMatchesTable4(t *testing.T) {
+	cases := []struct {
+		kind string
+		mb   int
+		want int
+	}{
+		{KindFootprint, 64, 4}, {KindFootprint, 128, 6}, {KindFootprint, 256, 9}, {KindFootprint, 512, 11},
+		{KindPage, 64, 4}, {KindPage, 128, 5}, {KindPage, 256, 6}, {KindPage, 512, 9},
+		{KindBlock, 64, 9}, {KindBlock, 256, 9}, {KindBlock, 512, 11},
+		{KindBaseline, 256, 0}, {KindIdeal, 256, 0},
+	}
+	for _, c := range cases {
+		if got := TagLatencyFor(c.kind, c.mb); got != c.want {
+			t.Fatalf("TagLatencyFor(%s, %d) = %d, want %d", c.kind, c.mb, got, c.want)
+		}
+	}
+}
+
+func TestDesignSpecDefaults(t *testing.T) {
+	spec := DesignSpec{Kind: KindFootprint}
+	if spec.CapacityBytes() != 256<<20 {
+		t.Fatalf("default capacity = %d", spec.CapacityBytes())
+	}
+	spec = DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: 0.5}
+	if spec.CapacityBytes() != 32<<20 {
+		t.Fatalf("scaled capacity = %d", spec.CapacityBytes())
+	}
+}
+
+func TestRunTimingBasics(t *testing.T) {
+	d := dcache.NewBaseline()
+	res := RunTiming(d, randomTrace(2000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 2000})
+	if res.Refs != 2000 {
+		t.Fatalf("refs = %d", res.Refs)
+	}
+	if res.Cycles == 0 || res.Instructions == 0 {
+		t.Fatalf("cycles=%d instructions=%d", res.Cycles, res.Instructions)
+	}
+	if res.AggIPC() <= 0 {
+		t.Fatalf("IPC = %g", res.AggIPC())
+	}
+	if res.AvgReadLatency <= 0 {
+		t.Fatal("no read latency recorded")
+	}
+	if res.OffChip.ReadBursts == 0 {
+		t.Fatal("no off-chip traffic in timing mode")
+	}
+}
+
+func TestRunTimingDeterministic(t *testing.T) {
+	run := func() TimingResult {
+		d, err := BuildDesign(DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: 1.0 / 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RunTiming(d, randomTrace(3000, 7, 8), TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 500, MaxRefs: 2500})
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Fatalf("nondeterministic timing: %d/%d vs %d/%d", a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+	}
+	if a.OffChip != b.OffChip {
+		t.Fatal("nondeterministic DRAM stats")
+	}
+}
+
+func TestRunTimingWarmupExcludedFromCounters(t *testing.T) {
+	d, err := BuildDesign(DesignSpec{Kind: KindPage, PaperCapacityMB: 64, Scale: 1.0 / 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunTiming(d, randomTrace(4000, 9, 8), TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 2000})
+	if res.Counters.Accesses() != 2000 {
+		t.Fatalf("measured accesses = %d, want 2000", res.Counters.Accesses())
+	}
+}
+
+func TestRunTimingFasterMemoryFasterRun(t *testing.T) {
+	// An ideal (stacked-only) system must finish the same trace in
+	// fewer cycles than the no-cache baseline.
+	base := RunTiming(dcache.NewBaseline(), randomTrace(3000, 11, 8),
+		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 3000})
+	ideal := RunTiming(dcache.NewIdeal(), randomTrace(3000, 11, 8),
+		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 3000})
+	if ideal.Cycles >= base.Cycles {
+		t.Fatalf("ideal (%d cycles) not faster than baseline (%d)", ideal.Cycles, base.Cycles)
+	}
+	if ideal.AvgReadLatency >= base.AvgReadLatency {
+		t.Fatalf("ideal latency %g not below baseline %g", ideal.AvgReadLatency, base.AvgReadLatency)
+	}
+}
+
+func TestRunTimingStackedOverride(t *testing.T) {
+	cfg := dram.StackedDDR3_3200()
+	cfg.CPUPerBusCy *= 4 // cripple the stacked part
+	slow := RunTiming(dcache.NewIdeal(), randomTrace(2000, 13, 8),
+		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 2000, Stacked: &cfg})
+	fast := RunTiming(dcache.NewIdeal(), randomTrace(2000, 13, 8),
+		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 2000})
+	if slow.Cycles <= fast.Cycles {
+		t.Fatal("stacked override had no effect")
+	}
+}
+
+func TestAllDesignsRunBothModes(t *testing.T) {
+	kinds := []string{
+		KindBaseline, KindBlock, KindPage, KindSubblock,
+		KindFootprint, KindFootprintNoSingleton, KindHotPage, KindIdeal,
+	}
+	for _, k := range kinds {
+		d, err := BuildDesign(DesignSpec{Kind: k, PaperCapacityMB: 64, Scale: 1.0 / 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fres := RunFunctional(d, randomTrace(3000, 17, 8), 500, 2500)
+		if fres.Counters.Accesses() != 2500 {
+			t.Fatalf("%s functional accesses = %d", k, fres.Counters.Accesses())
+		}
+		d2, _ := BuildDesign(DesignSpec{Kind: k, PaperCapacityMB: 64, Scale: 1.0 / 16})
+		tres := RunTiming(d2, randomTrace(2000, 17, 8), TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 500, MaxRefs: 1500})
+		if tres.Cycles == 0 {
+			t.Fatalf("%s timing did not advance", k)
+		}
+	}
+}

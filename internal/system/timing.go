@@ -1,0 +1,244 @@
+package system
+
+import (
+	"fpcache/internal/cpu"
+	"fpcache/internal/dcache"
+	"fpcache/internal/dram"
+	"fpcache/internal/energy"
+	"fpcache/internal/memtrace"
+	"fpcache/internal/sim"
+)
+
+// TimingConfig parametrizes an event-driven pod simulation.
+type TimingConfig struct {
+	Cores int
+	// MLP is the per-core outstanding-read budget.
+	MLP int
+	// L2Cycles is the L2 hit latency paid by every record before the
+	// DRAM cache tag lookup (Table 3: 13 cycles).
+	L2Cycles int
+	// WarmupRefs records are replayed through the design functionally
+	// before timed simulation starts, mirroring the paper's warmed
+	// checkpoints (§5.4).
+	WarmupRefs int
+	// MaxRefs bounds the timed trace length.
+	MaxRefs int
+	// OffChip / Stacked override the per-design DRAM configs when
+	// non-nil (used by the Figure 1 opportunity study).
+	OffChip, Stacked *dram.Config
+}
+
+// TimingResult summarizes a timing run.
+type TimingResult struct {
+	Design       string
+	Refs         uint64
+	Instructions uint64
+	Cycles       uint64
+	Counters     dcache.Counters
+	OffChip      dram.Stats
+	Stacked      dram.Stats
+	// AvgReadLatency is the mean latency of read records from issue
+	// to completion, in CPU cycles.
+	AvgReadLatency float64
+	// StallCycles sums per-core full-window stalls.
+	StallCycles uint64
+}
+
+// AggIPC is the paper's throughput metric (§5.4): aggregate committed
+// instructions over total cycles.
+func (r TimingResult) AggIPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// OffChipEnergyPerInstr returns the off-chip dynamic energy per
+// instruction (Figure 10's metric).
+func (r TimingResult) OffChipEnergyPerInstr() energy.Breakdown {
+	return energy.OffChip().Of(r.OffChip).PerInstruction(r.Instructions)
+}
+
+// StackedEnergyPerInstr returns the stacked dynamic energy per
+// instruction (Figure 11's metric).
+func (r TimingResult) StackedEnergyPerInstr() energy.Breakdown {
+	return energy.Stacked().Of(r.Stacked).PerInstruction(r.Instructions)
+}
+
+// demux fans one interleaved trace out to per-core queues.
+type demux struct {
+	src    memtrace.Source
+	queues [][]memtrace.Record
+	left   int
+	done   bool
+}
+
+func newDemux(src memtrace.Source, cores, maxRefs int) *demux {
+	return &demux{src: src, queues: make([][]memtrace.Record, cores), left: maxRefs}
+}
+
+// pull returns the next record for the given core.
+func (d *demux) pull(core int) (memtrace.Record, bool) {
+	for {
+		if q := d.queues[core]; len(q) > 0 {
+			rec := q[0]
+			d.queues[core] = q[1:]
+			return rec, true
+		}
+		if d.done || d.left <= 0 {
+			return memtrace.Record{}, false
+		}
+		rec, ok := d.src.Next()
+		if !ok {
+			d.done = true
+			continue
+		}
+		d.left--
+		c := int(rec.Core) % len(d.queues)
+		d.queues[c] = append(d.queues[c], rec)
+	}
+}
+
+// RunTiming executes an event-driven simulation of the pod: cores
+// with bounded MLP issue records through the design into the two DRAM
+// controllers; critical operations gate request completion while
+// fills and evictions consume bandwidth in the background.
+func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) TimingResult {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 16
+	}
+	if cfg.MLP <= 0 {
+		cfg.MLP = 2
+	}
+	if cfg.L2Cycles <= 0 {
+		cfg.L2Cycles = 13
+	}
+	offCfg, stkCfg := DRAMConfigsFor(design.Name())
+	if cfg.OffChip != nil {
+		offCfg = *cfg.OffChip
+	}
+	if cfg.Stacked != nil {
+		stkCfg = *cfg.Stacked
+	}
+
+	// Functional warmup: bring tags, MissMap, FHT, and ST to steady
+	// state before the first timed cycle.
+	for i := 0; i < cfg.WarmupRefs; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		design.Access(rec)
+	}
+	ctr0 := design.Counters()
+
+	eng := &sim.Engine{}
+	offC := dram.NewController(eng, offCfg)
+	stkC := dram.NewController(eng, stkCfg)
+	dm := newDemux(src, cfg.Cores, cfg.MaxRefs)
+
+	res := TimingResult{Design: design.Name()}
+	var readLatSum, readLatN uint64
+
+	issue := func(rec memtrace.Record, done func()) {
+		res.Refs++
+		out := design.Access(rec)
+		issuedAt := eng.Now()
+		notify := done
+		if !rec.Write {
+			notify = func() {
+				readLatSum += uint64(eng.Now() - issuedAt)
+				readLatN++
+				done()
+			}
+		}
+		// SRAM latencies (L2 probe + cache metadata) precede DRAM
+		// operations.
+		lead := sim.Cycle(cfg.L2Cycles + out.TagCycles)
+		eng.After(lead, func() {
+			dispatchOps(eng, out.Ops, offC, stkC, notify)
+		})
+	}
+
+	cores := make([]*cpu.Core, cfg.Cores)
+	for i := range cores {
+		id := i
+		cores[i] = cpu.New(id, cfg.MLP, eng, func() (memtrace.Record, bool) { return dm.pull(id) }, issue)
+		cores[i].Start()
+	}
+
+	eng.Run(nil)
+
+	for _, c := range cores {
+		res.Instructions += c.Instructions
+		res.StallCycles += c.StallCycles
+	}
+	res.Cycles = uint64(eng.Now())
+	res.Counters = design.Counters().Sub(ctr0)
+	res.OffChip = offC.Stats
+	res.Stacked = stkC.Stats
+	if readLatN > 0 {
+		res.AvgReadLatency = float64(readLatSum) / float64(readLatN)
+	}
+	return res
+}
+
+// dispatchOps turns an outcome's operation DAG into DRAM
+// transactions: ops with no dependency issue immediately, dependents
+// issue on their parent's completion, and done fires when every
+// critical op has completed (immediately if there are none).
+func dispatchOps(eng *sim.Engine, ops []dcache.Op, offC, stkC *dram.Controller, done func()) {
+	if len(ops) == 0 {
+		done()
+		return
+	}
+	critLeft := 0
+	for _, op := range ops {
+		if op.Critical {
+			critLeft++
+		}
+	}
+	if critLeft == 0 {
+		// Nothing gates completion (posted writes): finish now, let
+		// the ops drain in the background.
+		defer done()
+	}
+
+	children := make([][]int, len(ops))
+	for i, op := range ops {
+		if op.DependsOn != dcache.NoDep {
+			children[op.DependsOn] = append(children[op.DependsOn], i)
+		}
+	}
+
+	var submit func(i int)
+	submit = func(i int) {
+		op := ops[i]
+		ctrl := stkC
+		if op.Level == dcache.OffChip {
+			ctrl = offC
+		}
+		ctrl.Submit(&dram.Request{
+			Addr:  op.Addr,
+			Bytes: op.Bytes,
+			Write: op.Write,
+			Done: func(sim.Cycle) {
+				if op.Critical {
+					critLeft--
+					if critLeft == 0 {
+						done()
+					}
+				}
+				for _, ch := range children[i] {
+					submit(ch)
+				}
+			},
+		})
+	}
+	for i, op := range ops {
+		if op.DependsOn == dcache.NoDep {
+			submit(i)
+		}
+		_ = op
+	}
+}
