@@ -1,0 +1,90 @@
+package fpcache
+
+// Allocation budgets for the simulation hot path. The Design.Access
+// contract hands the caller's ops scratch buffer to the design, so
+// after warmup a functional run performs zero heap allocations per
+// reference — these tests pin that property for every design so a
+// regression fails CI rather than silently melting throughput.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpcache/internal/dcache"
+	"fpcache/internal/memtrace"
+)
+
+// allTestableDesigns returns every design kind at a small capacity.
+func allTestableDesigns(tb testing.TB) map[string]dcache.Design {
+	tb.Helper()
+	out := make(map[string]dcache.Design)
+	for _, kind := range Designs() {
+		d, err := NewDesign(Config{Design: kind, PaperCapacityMB: 64, Refs: 1})
+		if err != nil {
+			tb.Fatalf("%s: %v", kind, err)
+		}
+		out[string(kind)] = d
+	}
+	return out
+}
+
+// accessRecords builds a mixed read/write reference stream with
+// enough footprint to exercise hits, misses, evictions, and bypasses.
+func accessRecords(n int) []memtrace.Record {
+	rng := rand.New(rand.NewSource(42))
+	recs := make([]memtrace.Record, n)
+	for i := range recs {
+		recs[i] = memtrace.Record{
+			PC:    memtrace.PC(0x400000 + rng.Intn(256)*4),
+			Addr:  memtrace.Addr(rng.Intn(1<<22) * 64),
+			Write: rng.Intn(3) == 0,
+		}
+	}
+	return recs
+}
+
+// TestAccessZeroAllocs asserts the zero-allocation budget: steady
+// state Design.Access with a reused scratch buffer must not allocate,
+// for every design.
+func TestAccessZeroAllocs(t *testing.T) {
+	recs := accessRecords(1 << 16)
+	for name, d := range allTestableDesigns(t) {
+		// Warm the design (tables filled, eviction paths active) and
+		// the scratch buffer (grown to the largest outcome).
+		var ops []dcache.Op
+		for i := 0; i < 1<<17; i++ {
+			ops = d.Access(recs[i&(1<<16-1)], ops).Ops
+		}
+		idx := 0
+		avg := testing.AllocsPerRun(2000, func() {
+			ops = d.Access(recs[idx&(1<<16-1)], ops).Ops
+			idx++
+		})
+		if avg != 0 {
+			t.Errorf("%s: Access allocates %.2f allocs/op in steady state, want 0", name, avg)
+		}
+	}
+}
+
+// BenchmarkDesignAccess measures per-access cost and allocation for
+// every design under the scratch-buffer contract.
+func BenchmarkDesignAccess(b *testing.B) {
+	recs := accessRecords(1 << 16)
+	for _, kind := range Designs() {
+		b.Run(string(kind), func(b *testing.B) {
+			d, err := NewDesign(Config{Design: kind, PaperCapacityMB: 64, Refs: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ops []dcache.Op
+			for i := 0; i < 1<<16; i++ {
+				ops = d.Access(recs[i], ops).Ops
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ops = d.Access(recs[i&(1<<16-1)], ops).Ops
+			}
+		})
+	}
+}

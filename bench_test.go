@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"fpcache/internal/core"
+	"fpcache/internal/dcache"
 	"fpcache/internal/dram"
 	"fpcache/internal/experiments"
 	"fpcache/internal/memtrace"
@@ -130,9 +131,11 @@ func BenchmarkFootprintAccess(b *testing.B) {
 			Write: rng.Intn(3) == 0,
 		}
 	}
+	var ops []dcache.Op
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Access(recs[i&(1<<16-1)])
+		ops = c.Access(recs[i&(1<<16-1)], ops).Ops
 	}
 }
 
@@ -151,9 +154,11 @@ func BenchmarkBlockCacheAccess(b *testing.B) {
 			Write: rng.Intn(3) == 0,
 		}
 	}
+	var ops []dcache.Op
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.Access(recs[i&(1<<16-1)])
+		ops = d.Access(recs[i&(1<<16-1)], ops).Ops
 	}
 }
 

@@ -6,19 +6,29 @@
 //	fpbench -figure figure5      # one experiment
 //	fpbench -list                # list experiment identifiers
 //	fpbench -refs 2000000 -scale 0.0625 -workloads web-search,mapreduce
+//	fpbench -j 8                 # sweep simulation points on 8 workers
+//	fpbench -json out.json       # machine-readable rows + wall-clock
 //
-// Each experiment prints the same rows/series the paper reports;
-// EXPERIMENTS.md records a reference run with paper-vs-measured
-// commentary.
+// Simulation points fan out over a worker pool (internal/sweep);
+// results are gathered in declaration order, so output is
+// byte-identical regardless of -j. Each experiment prints the same
+// rows/series the paper reports; EXPERIMENTS.md records a reference
+// run with paper-vs-measured commentary. With -json, typed rows and
+// per-experiment wall-clock are written to the given file instead of
+// rendering text tables — the seed of the BENCH_*.json perf
+// trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"fpcache/internal/experiments"
+	"fpcache/internal/sweep"
 )
 
 func main() {
@@ -32,7 +42,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		caps      = flag.String("capacities", "", "comma-separated paper-scale capacities in MB (default: 64,128,256,512)")
+		jsonOut   = flag.String("json", "", "write machine-readable rows + per-experiment wall-clock to this file")
+		workers   int
 	)
+	flag.IntVar(&workers, "j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
+	flag.IntVar(&workers, "parallel", 0, "alias for -j")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +62,8 @@ func main() {
 		WarmupRefs: *warmup,
 		TimingRefs: *timing,
 		Seed:       *seed,
+		// Options treats 0 as serial; the CLI treats 0 as "all cores".
+		Workers: sweep.Workers(workers),
 	}
 	if *workloads != "" {
 		o.Workloads = strings.Split(*workloads, ",")
@@ -63,6 +79,19 @@ func main() {
 		}
 	}
 
+	names := experiments.Names()
+	if *figure != "" {
+		names = []string{*figure}
+	}
+
+	if *jsonOut != "" {
+		if err := runJSON(names, o, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var err error
 	if *figure == "" {
 		err = experiments.RunAll(o, os.Stdout)
@@ -73,4 +102,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fpbench:", err)
 		os.Exit(1)
 	}
+}
+
+// jsonExperiment is one experiment's machine-readable result.
+type jsonExperiment struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Rows    any     `json:"rows"`
+}
+
+// jsonReport is the -json file layout: run configuration,
+// per-experiment wall-clock and typed rows, and the total.
+type jsonReport struct {
+	Options      experiments.Options `json:"options"`
+	TotalSeconds float64             `json:"total_seconds"`
+	Experiments  []jsonExperiment    `json:"experiments"`
+}
+
+// runJSON computes typed rows for every named experiment, timing each
+// one, and writes the report to path.
+func runJSON(names []string, o experiments.Options, path string) error {
+	// Record the options as the drivers actually run them (defaults
+	// applied), so two BENCH_*.json files are comparable even if the
+	// library's defaults change between versions.
+	report := jsonReport{Options: o.WithDefaults()}
+	total := time.Now()
+	for _, name := range names {
+		start := time.Now()
+		rows, err := experiments.Rows(name, o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		dt := time.Since(start).Seconds()
+		report.Experiments = append(report.Experiments, jsonExperiment{Name: name, Seconds: dt, Rows: rows})
+		fmt.Printf("%-10s %8.2fs\n", name, dt)
+	}
+	report.TotalSeconds = time.Since(total).Seconds()
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d experiments, %.2fs total)\n", path, len(report.Experiments), report.TotalSeconds)
+	return nil
 }

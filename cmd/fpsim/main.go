@@ -1,85 +1,157 @@
-// Command fpsim runs one (workload, design, capacity) simulation and
-// prints its metrics — the quickest way to poke at a single
-// configuration.
+// Command fpsim runs (workload, design, capacity) simulations and
+// prints their metrics — the quickest way to poke at configurations.
+//
+// Each of -workload, -design, and -capacity accepts a comma-separated
+// list; fpsim sweeps the cross product over -j parallel workers
+// (internal/sweep), printing reports in declaration order regardless
+// of worker count.
 //
 // Usage:
 //
 //	fpsim -workload web-search -design footprint -capacity 256
 //	fpsim -design page -mode timing -refs 250000
+//	fpsim -design page,footprint,block -capacity 64,256 -j 4
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"fpcache"
+	"fpcache/internal/sweep"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", fpcache.WebSearch, "workload name")
-		design   = flag.String("design", string(fpcache.Footprint), "cache design")
-		capMB    = flag.Int("capacity", 256, "paper-scale capacity in MB")
+		workload = flag.String("workload", fpcache.WebSearch, "workload name(s), comma-separated")
+		design   = flag.String("design", string(fpcache.Footprint), "cache design(s), comma-separated")
+		capMB    = flag.String("capacity", "256", "paper-scale capacity list in MB, comma-separated")
 		scale    = flag.Float64("scale", fpcache.DefaultScale, "capacity scale factor")
 		refs     = flag.Int("refs", 1_000_000, "measured references")
 		warmup   = flag.Int("warmup", 0, "warmup references (default: same as -refs)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		mode     = flag.String("mode", "functional", "simulation mode: functional or timing")
+		workers  = flag.Int("j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
 	)
 	flag.Parse()
 
-	cfg := fpcache.Config{
-		Workload:        *workload,
-		Design:          fpcache.DesignKind(*design),
-		PaperCapacityMB: *capMB,
-		Scale:           *scale,
-		Refs:            *refs,
-		WarmupRefs:      *warmup,
-		Seed:            *seed,
-	}
-
-	switch *mode {
-	case "functional":
-		res, err := fpcache.RunFunctional(cfg)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("workload:            %s\n", *workload)
-		fmt.Printf("design:              %s @ %dMB (scale %.4g)\n", res.Design, *capMB, *scale)
-		fmt.Printf("references:          %d\n", res.Refs)
-		fmt.Printf("miss ratio:          %.2f%%\n", 100*res.MissRatio())
-		fmt.Printf("hit ratio:           %.2f%%\n", 100*res.Counters.HitRatio())
-		fmt.Printf("bypasses:            %d\n", res.Counters.Bypasses)
-		fmt.Printf("off-chip bytes/ref:  %.1f\n", res.OffChipBytesPerRef())
-		fmt.Printf("off-chip row hits:   %.1f%%\n", 100*res.OffChip.RowHitRatio())
-		fmt.Printf("stacked row hits:    %.1f%%\n", 100*res.Stacked.RowHitRatio())
-		if fp := res.Footprint; fp != nil {
-			fmt.Printf("predictor coverage:  %.1f%%\n", 100*fp.Coverage())
-			fmt.Printf("overprediction:      %.1f%%\n", 100*fp.Overprediction())
-			fmt.Printf("underpred misses:    %d\n", fp.UnderpredMisses)
-			fmt.Printf("singleton bypasses:  %d (corrections %d)\n", fp.SingletonBypasses, fp.STCorrections)
-		}
-	case "timing":
-		res, err := fpcache.RunTiming(cfg)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("workload:            %s\n", *workload)
-		fmt.Printf("design:              %s @ %dMB (scale %.4g)\n", res.Design, *capMB, *scale)
-		fmt.Printf("references:          %d\n", res.Refs)
-		fmt.Printf("instructions:        %d\n", res.Instructions)
-		fmt.Printf("cycles:              %d\n", res.Cycles)
-		fmt.Printf("aggregate IPC:       %.3f\n", res.AggIPC())
-		fmt.Printf("avg read latency:    %.0f cycles\n", res.AvgReadLatency)
-		fmt.Printf("miss ratio:          %.2f%%\n", 100*res.Counters.MissRatio())
-		off := res.OffChipEnergyPerInstr()
-		stk := res.StackedEnergyPerInstr()
-		fmt.Printf("off-chip energy/ins: %.1f pJ (act %.1f + burst %.1f)\n", off.TotalPJ(), off.ActPrePJ, off.BurstPJ)
-		fmt.Printf("stacked energy/ins:  %.1f pJ (act %.1f + burst %.1f)\n", stk.TotalPJ(), stk.ActPrePJ, stk.BurstPJ)
-	default:
+	if *mode != "functional" && *mode != "timing" {
 		fail(fmt.Errorf("unknown mode %q (functional or timing)", *mode))
 	}
+
+	workloads := splitList(*workload)
+	designs := splitList(*design)
+	var capacities []int
+	for _, c := range splitList(*capMB) {
+		mb, err := strconv.Atoi(c)
+		if err != nil {
+			fail(fmt.Errorf("bad capacity %q: %v", c, err))
+		}
+		capacities = append(capacities, mb)
+	}
+
+	// Cross product in declaration order: workload x design x capacity.
+	type point struct {
+		workload string
+		design   string
+		capMB    int
+	}
+	var pts []point
+	for _, wl := range workloads {
+		for _, d := range designs {
+			for _, mb := range capacities {
+				pts = append(pts, point{wl, d, mb})
+			}
+		}
+	}
+	if len(pts) == 0 {
+		fail(fmt.Errorf("no simulation points: -workload, -design, and -capacity must each name at least one value"))
+	}
+
+	reports, err := sweep.Map(*workers, len(pts), func(i int) (string, error) {
+		p := pts[i]
+		cfg := fpcache.Config{
+			Workload:        p.workload,
+			Design:          fpcache.DesignKind(p.design),
+			PaperCapacityMB: p.capMB,
+			Scale:           *scale,
+			Refs:            *refs,
+			WarmupRefs:      *warmup,
+			Seed:            *seed,
+		}
+		var buf bytes.Buffer
+		if *mode == "functional" {
+			res, err := fpcache.RunFunctional(cfg)
+			if err != nil {
+				return "", err
+			}
+			printFunctional(&buf, cfg, res)
+		} else {
+			res, err := fpcache.RunTiming(cfg)
+			if err != nil {
+				return "", err
+			}
+			printTiming(&buf, cfg, res)
+		}
+		return buf.String(), nil
+	})
+	if err != nil {
+		fail(err)
+	}
+	for i, rep := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(rep)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func printFunctional(w io.Writer, cfg fpcache.Config, res fpcache.FunctionalResult) {
+	fmt.Fprintf(w, "workload:            %s\n", cfg.Workload)
+	fmt.Fprintf(w, "design:              %s @ %dMB (scale %.4g)\n", res.Design, cfg.PaperCapacityMB, cfg.Scale)
+	fmt.Fprintf(w, "references:          %d\n", res.Refs)
+	fmt.Fprintf(w, "miss ratio:          %.2f%%\n", 100*res.MissRatio())
+	fmt.Fprintf(w, "hit ratio:           %.2f%%\n", 100*res.Counters.HitRatio())
+	fmt.Fprintf(w, "bypasses:            %d\n", res.Counters.Bypasses)
+	fmt.Fprintf(w, "off-chip bytes/ref:  %.1f\n", res.OffChipBytesPerRef())
+	fmt.Fprintf(w, "off-chip row hits:   %.1f%%\n", 100*res.OffChip.RowHitRatio())
+	fmt.Fprintf(w, "stacked row hits:    %.1f%%\n", 100*res.Stacked.RowHitRatio())
+	if fp := res.Footprint; fp != nil {
+		fmt.Fprintf(w, "predictor coverage:  %.1f%%\n", 100*fp.Coverage())
+		fmt.Fprintf(w, "overprediction:      %.1f%%\n", 100*fp.Overprediction())
+		fmt.Fprintf(w, "underpred misses:    %d\n", fp.UnderpredMisses)
+		fmt.Fprintf(w, "singleton bypasses:  %d (corrections %d)\n", fp.SingletonBypasses, fp.STCorrections)
+	}
+}
+
+func printTiming(w io.Writer, cfg fpcache.Config, res fpcache.TimingResult) {
+	fmt.Fprintf(w, "workload:            %s\n", cfg.Workload)
+	fmt.Fprintf(w, "design:              %s @ %dMB (scale %.4g)\n", res.Design, cfg.PaperCapacityMB, cfg.Scale)
+	fmt.Fprintf(w, "references:          %d\n", res.Refs)
+	fmt.Fprintf(w, "instructions:        %d\n", res.Instructions)
+	fmt.Fprintf(w, "cycles:              %d\n", res.Cycles)
+	fmt.Fprintf(w, "aggregate IPC:       %.3f\n", res.AggIPC())
+	fmt.Fprintf(w, "avg read latency:    %.0f cycles\n", res.AvgReadLatency)
+	fmt.Fprintf(w, "miss ratio:          %.2f%%\n", 100*res.Counters.MissRatio())
+	off := res.OffChipEnergyPerInstr()
+	stk := res.StackedEnergyPerInstr()
+	fmt.Fprintf(w, "off-chip energy/ins: %.1f pJ (act %.1f + burst %.1f)\n", off.TotalPJ(), off.ActPrePJ, off.BurstPJ)
+	fmt.Fprintf(w, "stacked energy/ins:  %.1f pJ (act %.1f + burst %.1f)\n", stk.TotalPJ(), stk.ActPrePJ, stk.BurstPJ)
 }
 
 func fail(err error) {

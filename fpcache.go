@@ -82,6 +82,13 @@ func Designs() []DesignKind {
 // (§6.5, §7).
 const DefaultScale = 1.0 / 16
 
+// FunctionalResult and TimingResult alias the simulation result
+// types so facade callers never import internal packages.
+type (
+	FunctionalResult = system.FunctionalResult
+	TimingResult     = system.TimingResult
+)
+
 // Config describes one simulation.
 type Config struct {
 	// Workload is one of the workload names.

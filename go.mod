@@ -1,0 +1,3 @@
+module fpcache
+
+go 1.24

@@ -207,7 +207,7 @@ func (c *Cache) frameAddr(set, way int) memtrace.Addr {
 // predicted singletons, otherwise evict (feeding the victim's
 // demanded vector back to the FHT through the stored pointer) and
 // fetch the predicted footprint in one shot.
-func (c *Cache) Access(rec memtrace.Record) dcache.Outcome {
+func (c *Cache) Access(rec memtrace.Record, ops []dcache.Op) dcache.Outcome {
 	c.recordAccess(rec)
 	pageIdx := uint64(rec.Addr) / uint64(c.cfg.Geometry.PageBytes)
 	block := int(uint64(rec.Addr) % uint64(c.cfg.Geometry.PageBytes) / 64)
@@ -220,14 +220,11 @@ func (c *Cache) Access(rec memtrace.Record) dcache.Outcome {
 			// Block hit: serve from the stacked array.
 			c.ctr.Hits++
 			e.Value.vec.Demand(block, rec.Write)
-			return dcache.Outcome{
-				Hit:       true,
-				TagCycles: c.cfg.TagCycles,
-				Ops: []dcache.Op{{
-					Level: dcache.Stacked, Addr: c.frameAddr(set, e.Way()) + memtrace.Addr(block*64),
-					Bytes: 64, Write: rec.Write, Critical: !rec.Write, DependsOn: dcache.NoDep,
-				}},
-			}
+			ops = append(ops[:0], dcache.Op{
+				Level: dcache.Stacked, Addr: c.frameAddr(set, e.Way()) + memtrace.Addr(block*64),
+				Bytes: 64, Write: rec.Write, Critical: !rec.Write, DependsOn: dcache.NoDep,
+			})
+			return dcache.Outcome{Hit: true, TagCycles: c.cfg.TagCycles, Ops: ops}
 		}
 		// Underprediction: page resident, block not fetched. Fetch it
 		// alone, mark demanded (a write carries its own 64B block and
@@ -238,18 +235,14 @@ func (c *Cache) Access(rec memtrace.Record) dcache.Outcome {
 		e.Value.vec.Demand(block, rec.Write)
 		frame := c.frameAddr(set, e.Way()) + memtrace.Addr(block*64)
 		if rec.Write {
-			return dcache.Outcome{
-				TagCycles: c.cfg.TagCycles,
-				Ops:       []dcache.Op{{Level: dcache.Stacked, Addr: frame, Bytes: 64, Write: true, DependsOn: dcache.NoDep}},
-			}
+			ops = append(ops[:0], dcache.Op{Level: dcache.Stacked, Addr: frame, Bytes: 64, Write: true, DependsOn: dcache.NoDep})
+			return dcache.Outcome{TagCycles: c.cfg.TagCycles, Ops: ops}
 		}
-		return dcache.Outcome{
-			TagCycles: c.cfg.TagCycles,
-			Ops: []dcache.Op{
-				{Level: dcache.OffChip, Addr: rec.Addr, Bytes: 64, Critical: true, DependsOn: dcache.NoDep},
-				{Level: dcache.Stacked, Addr: frame, Bytes: 64, Write: true, DependsOn: 0},
-			},
-		}
+		ops = append(ops[:0],
+			dcache.Op{Level: dcache.OffChip, Addr: rec.Addr, Bytes: 64, Critical: true, DependsOn: dcache.NoDep},
+			dcache.Op{Level: dcache.Stacked, Addr: frame, Bytes: 64, Write: true, DependsOn: 0},
+		)
+		return dcache.Outcome{TagCycles: c.cfg.TagCycles, Ops: ops}
 	}
 
 	// Triggering miss (§4.2).
@@ -257,11 +250,13 @@ func (c *Cache) Access(rec memtrace.Record) dcache.Outcome {
 
 	// Singleton correction: was this page bypassed before with a
 	// different offset?
-	var correctedKey *stEntry
+	var correctedKey stEntry
+	corrected := false
 	if c.cfg.SingletonOpt {
 		if pc, off, ok := c.st.Check(pageIdx, block); ok {
 			c.extra.STCorrections++
-			correctedKey = &stEntry{pc: pc, offset: off}
+			correctedKey = stEntry{pc: pc, offset: off}
+			corrected = true
 		}
 	}
 
@@ -273,7 +268,7 @@ func (c *Cache) Access(rec memtrace.Record) dcache.Outcome {
 	}
 	footprint |= bit // the demanded block is always fetched
 
-	if correctedKey != nil {
+	if corrected {
 		// Re-key learning to the instruction that first (wrongly)
 		// classified the page as singleton: fetch its block too and
 		// point feedback at its FHT entry (§4.4).
@@ -285,19 +280,16 @@ func (c *Cache) Access(rec memtrace.Record) dcache.Outcome {
 		c.ctr.Bypasses++
 		c.extra.SingletonBypasses++
 		c.st.Note(pageIdx, rec.PC, block)
-		return dcache.Outcome{
-			Bypass:    true,
-			TagCycles: c.cfg.TagCycles,
-			Ops: []dcache.Op{{
-				Level: dcache.OffChip, Addr: rec.Addr, Bytes: 64,
-				Write: rec.Write, Critical: !rec.Write, DependsOn: dcache.NoDep,
-			}},
-		}
+		ops = append(ops[:0], dcache.Op{
+			Level: dcache.OffChip, Addr: rec.Addr, Bytes: 64,
+			Write: rec.Write, Critical: !rec.Write, DependsOn: dcache.NoDep,
+		})
+		return dcache.Outcome{Bypass: true, TagCycles: c.cfg.TagCycles, Ops: ops}
 	}
 
 	// Allocate the page: evict the victim with FHT feedback, then
 	// fetch the whole footprint at once (§3).
-	var ops []dcache.Op
+	ops = ops[:0]
 	victim := c.tags.Victim(set)
 	frame := c.frameAddr(set, victim.Way())
 	if victim.Valid() {

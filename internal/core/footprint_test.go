@@ -39,7 +39,7 @@ func write(pc memtrace.PC, addr memtrace.Addr) memtrace.Record {
 
 func access(t *testing.T, c *Cache, rec memtrace.Record) dcache.Outcome {
 	t.Helper()
-	out := c.Access(rec)
+	out := c.Access(rec, nil)
 	if err := dcache.ValidateOps(out.Ops); err != nil {
 		t.Fatalf("invalid ops: %v", err)
 	}
@@ -302,7 +302,7 @@ func TestCountersConsistentUnderRandomTraffic(t *testing.T) {
 			Addr:  memtrace.Addr(rng.Intn(1<<22) * 64),
 			Write: rng.Intn(3) == 0,
 		}
-		out := c.Access(rec)
+		out := c.Access(rec, nil)
 		if err := dcache.ValidateOps(out.Ops); err != nil {
 			t.Fatalf("ref %d: %v", i, err)
 		}
@@ -336,7 +336,7 @@ func TestDeterministicReplay(t *testing.T) {
 				PC:    memtrace.PC(0x400000 + rng.Intn(64)*4),
 				Addr:  memtrace.Addr(rng.Intn(1<<20) * 64),
 				Write: rng.Intn(4) == 0,
-			})
+			}, nil)
 		}
 		return c.Counters()
 	}

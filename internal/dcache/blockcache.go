@@ -117,7 +117,7 @@ func (b *BlockCache) regionIndex(addr memtrace.Addr) (set int, tag uint64, bit u
 }
 
 // Access implements Design.
-func (b *BlockCache) Access(rec memtrace.Record) Outcome {
+func (b *BlockCache) Access(rec memtrace.Record, ops []Op) Outcome {
 	b.ctr.record(rec)
 	mmSet, mmTag, mmBit := b.regionIndex(rec.Addr)
 	mm := b.missMap.Lookup(mmSet, mmTag)
@@ -134,20 +134,17 @@ func (b *BlockCache) Access(rec memtrace.Record) Outcome {
 		if rec.Write {
 			e.Value.dirty = true
 		}
-		return Outcome{
-			Hit:       true,
-			TagCycles: b.tagCycles,
-			Ops: []Op{{
-				Level: Stacked, Addr: b.rowBase(set), Bytes: 3 * 64,
-				Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
-			}},
-		}
+		ops = append(ops[:0], Op{
+			Level: Stacked, Addr: b.rowBase(set), Bytes: 3 * 64,
+			Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
+		})
+		return Outcome{Hit: true, TagCycles: b.tagCycles, Ops: ops}
 	}
 
 	// Miss: serve reads from memory; an L2 writeback carries the full
 	// 64B block, so a write miss installs without an off-chip read.
 	b.ctr.Misses++
-	var ops []Op
+	ops = ops[:0]
 	crit := NoDep
 	if !rec.Write {
 		crit = len(ops)

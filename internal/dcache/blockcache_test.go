@@ -33,7 +33,7 @@ func TestBlockCacheConfigValidation(t *testing.T) {
 
 func TestBlockCacheMissThenHit(t *testing.T) {
 	b := mustBlock(t)
-	out := b.Access(read(0x4000))
+	out := b.Access(read(0x4000), nil)
 	if out.Hit {
 		t.Fatal("cold access hit")
 	}
@@ -51,7 +51,7 @@ func TestBlockCacheMissThenHit(t *testing.T) {
 		t.Fatalf("miss fetched %d off-chip bytes", offRead)
 	}
 
-	out = b.Access(read(0x4000))
+	out = b.Access(read(0x4000), nil)
 	if !out.Hit {
 		t.Fatal("refetched block missed")
 	}
@@ -67,13 +67,13 @@ func TestBlockCacheMissThenHit(t *testing.T) {
 
 func TestBlockCacheWriteMissInstallsWithoutFetch(t *testing.T) {
 	b := mustBlock(t)
-	out := b.Access(write(0x9000))
+	out := b.Access(write(0x9000), nil)
 	for _, op := range out.Ops {
 		if op.Level == OffChip {
 			t.Fatalf("write miss touched off-chip: %+v", op)
 		}
 	}
-	if !b.Access(read(0x9000)).Hit {
+	if !b.Access(read(0x9000), nil).Hit {
 		t.Fatal("installed write not present")
 	}
 }
@@ -84,7 +84,7 @@ func TestBlockCacheDirtyEviction(t *testing.T) {
 	// Fill one row set (30 ways) with dirty blocks, then overflow it.
 	for i := 0; i <= DataBlocksPerRow; i++ {
 		addr := memtrace.Addr(i * rows * 64) // same set every time
-		b.Access(write(addr))
+		b.Access(write(addr), nil)
 	}
 	c := b.Counters()
 	if c.DirtyEvicts == 0 {
@@ -99,7 +99,7 @@ func TestBlockCacheMissMapForcedEviction(t *testing.T) {
 	// the overflow must force-evict cached blocks.
 	entries := b.missMap.Sets() * b.missMap.Ways()
 	for i := 0; i < entries*2; i++ {
-		b.Access(read(memtrace.Addr(i*regionBytes + (i%blocksPerRegion)*64)))
+		b.Access(read(memtrace.Addr(i*regionBytes+(i%blocksPerRegion)*64)), nil)
 	}
 	if b.ForcedEvicts == 0 {
 		t.Fatal("MissMap overflow produced no forced evictions")
@@ -107,7 +107,7 @@ func TestBlockCacheMissMapForcedEviction(t *testing.T) {
 	// Invariant: every MissMap presence bit has a matching cached
 	// block (Access panics on divergence; re-touch to exercise).
 	for i := 0; i < entries*2; i += 7 {
-		b.Access(read(memtrace.Addr(i * regionBytes)))
+		b.Access(read(memtrace.Addr(i*regionBytes)), nil)
 	}
 }
 
@@ -117,7 +117,7 @@ func TestBlockCacheMissMapConsistencyUnderRandomTraffic(t *testing.T) {
 	for i := 0; i < 100000; i++ {
 		addr := memtrace.Addr(rng.Intn(1<<20) * 64)
 		rec := memtrace.Record{Addr: addr, Write: rng.Intn(4) == 0}
-		out := b.Access(rec) // panics on missmap/tag divergence
+		out := b.Access(rec, nil) // panics on missmap/tag divergence
 		if err := ValidateOps(out.Ops); err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestHotPageBypassesUntilHot(t *testing.T) {
 	addr := memtrace.Addr(0x10000)
 	var bypasses int
 	for i := 0; i < 10; i++ {
-		out := h.Access(read(addr))
+		out := h.Access(read(addr), nil)
 		if out.Bypass {
 			bypasses++
 		}
@@ -183,7 +183,7 @@ func TestHotPageBypassesUntilHot(t *testing.T) {
 		t.Fatal("page never became hot")
 	}
 	// Once allocated, accesses hit.
-	if !h.Access(read(addr)).Hit {
+	if !h.Access(read(addr), nil).Hit {
 		t.Fatal("hot page not resident")
 	}
 }

@@ -75,7 +75,15 @@ type Design interface {
 	// Name identifies the design in reports.
 	Name() string
 	// Access processes one L2-miss record and returns its outcome.
-	Access(rec memtrace.Record) Outcome
+	//
+	// ops is a caller-provided scratch buffer: implementations append
+	// the access's DRAM operations to ops[:0] and return an Outcome
+	// whose Ops field aliases it (grown if needed). Callers on the hot
+	// path reuse the returned Outcome.Ops as the next call's scratch,
+	// so steady-state accesses allocate nothing; passing nil is always
+	// valid when allocation does not matter. The returned Ops are only
+	// valid until the next Access with the same buffer.
+	Access(rec memtrace.Record, ops []Op) Outcome
 	// Counters exposes accumulated access statistics.
 	Counters() Counters
 	// MetadataBits returns the SRAM metadata budget (tags, MissMap,
@@ -182,15 +190,14 @@ func (b *Baseline) MetadataBits() int64 { return 0 }
 func (b *Baseline) Counters() Counters { return b.ctr }
 
 // Access implements Design.
-func (b *Baseline) Access(rec memtrace.Record) Outcome {
+func (b *Baseline) Access(rec memtrace.Record, ops []Op) Outcome {
 	b.ctr.record(rec)
 	b.ctr.Misses++
-	return Outcome{
-		Ops: []Op{{
-			Level: OffChip, Addr: rec.Addr, Bytes: 64,
-			Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
-		}},
-	}
+	ops = append(ops[:0], Op{
+		Level: OffChip, Addr: rec.Addr, Bytes: 64,
+		Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
+	})
+	return Outcome{Ops: ops}
 }
 
 // Ideal is the paper's upper bound: a die-stacked cache that never
@@ -212,14 +219,12 @@ func (i *Ideal) MetadataBits() int64 { return 0 }
 func (i *Ideal) Counters() Counters { return i.ctr }
 
 // Access implements Design.
-func (i *Ideal) Access(rec memtrace.Record) Outcome {
+func (i *Ideal) Access(rec memtrace.Record, ops []Op) Outcome {
 	i.ctr.record(rec)
 	i.ctr.Hits++
-	return Outcome{
-		Hit: true,
-		Ops: []Op{{
-			Level: Stacked, Addr: rec.Addr, Bytes: 64,
-			Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
-		}},
-	}
+	ops = append(ops[:0], Op{
+		Level: Stacked, Addr: rec.Addr, Bytes: 64,
+		Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
+	})
+	return Outcome{Hit: true, Ops: ops}
 }

@@ -17,7 +17,7 @@ func write(addr memtrace.Addr) memtrace.Record {
 
 func checkOps(t *testing.T, d Design, rec memtrace.Record) Outcome {
 	t.Helper()
-	out := d.Access(rec)
+	out := d.Access(rec, nil)
 	if err := ValidateOps(out.Ops); err != nil {
 		t.Fatalf("%s: invalid ops for %+v: %v", d.Name(), rec, err)
 	}
@@ -309,7 +309,7 @@ func TestDesignsProduceValidOpsUnderRandomTraffic(t *testing.T) {
 			Write: rng.Intn(3) == 0,
 		}
 		for _, d := range designs {
-			out := d.Access(rec)
+			out := d.Access(rec, nil)
 			if err := ValidateOps(out.Ops); err != nil {
 				t.Fatalf("%s at ref %d: %v", d.Name(), i, err)
 			}

@@ -65,7 +65,7 @@ func (h *HotPageCache) MetadataBits() int64 {
 }
 
 // Access implements Design.
-func (h *HotPageCache) Access(rec memtrace.Record) Outcome {
+func (h *HotPageCache) Access(rec memtrace.Record, ops []Op) Outcome {
 	h.ctr.record(rec)
 	pageIdx, _ := pageAddrOf(rec.Addr, h.inner.geom.PageBytes)
 	set := int(pageIdx % uint64(h.inner.sets))
@@ -73,7 +73,7 @@ func (h *HotPageCache) Access(rec memtrace.Record) Outcome {
 
 	if h.inner.tags.Peek(set, tag) != nil {
 		// Resident page: delegate (counts as hit inside inner).
-		out := h.inner.Access(rec)
+		out := h.inner.Access(rec, ops)
 		h.ctr.Hits++
 		return out
 	}
@@ -91,19 +91,16 @@ func (h *HotPageCache) Access(rec memtrace.Record) Outcome {
 	if e != nil && e.Value >= h.thresh {
 		// Hot: allocate through the page cache (it will fetch the
 		// whole page).
-		out := h.inner.Access(rec)
+		out := h.inner.Access(rec, ops)
 		out.Hit = false
 		return out
 	}
 	h.ctr.Bypasses++
-	return Outcome{
-		Bypass:    true,
-		TagCycles: h.inner.tagCycles,
-		Ops: []Op{{
-			Level: OffChip, Addr: rec.Addr, Bytes: 64,
-			Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
-		}},
-	}
+	ops = append(ops[:0], Op{
+		Level: OffChip, Addr: rec.Addr, Bytes: 64,
+		Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
+	})
+	return Outcome{Bypass: true, TagCycles: h.inner.tagCycles, Ops: ops}
 }
 
 // CoverageCurve computes Figure 12's offline analysis: given

@@ -140,7 +140,7 @@ func (p *PageCache) fullMask() uint64 {
 }
 
 // Access implements Design.
-func (p *PageCache) Access(rec memtrace.Record) Outcome {
+func (p *PageCache) Access(rec memtrace.Record, ops []Op) Outcome {
 	p.ctr.record(rec)
 	pageIdx, block := pageAddrOf(rec.Addr, p.geom.PageBytes)
 	set := int(pageIdx % uint64(p.sets))
@@ -153,19 +153,16 @@ func (p *PageCache) Access(rec memtrace.Record) Outcome {
 		if rec.Write {
 			e.Value.Dirty |= bit
 		}
-		return Outcome{
-			Hit:       true,
-			TagCycles: p.tagCycles,
-			Ops: []Op{{
-				Level: Stacked, Addr: p.frameAddr(set, e.Way()) + memtrace.Addr(block*64),
-				Bytes: 64, Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
-			}},
-		}
+		ops = append(ops[:0], Op{
+			Level: Stacked, Addr: p.frameAddr(set, e.Way()) + memtrace.Addr(block*64),
+			Bytes: 64, Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
+		})
+		return Outcome{Hit: true, TagCycles: p.tagCycles, Ops: ops}
 	}
 
 	// Page miss: evict the victim, fetch the whole page (§2.3).
 	p.ctr.Misses++
-	var ops []Op
+	ops = ops[:0]
 	victim := p.tags.Victim(set)
 	frame := p.frameAddr(set, victim.Way())
 	if victim.Valid() {

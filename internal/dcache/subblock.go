@@ -68,7 +68,7 @@ func (s *SubblockCache) frameAddr(set, way int) memtrace.Addr {
 }
 
 // Access implements Design.
-func (s *SubblockCache) Access(rec memtrace.Record) Outcome {
+func (s *SubblockCache) Access(rec memtrace.Record, ops []Op) Outcome {
 	s.ctr.record(rec)
 	pageIdx, block := pageAddrOf(rec.Addr, s.geom.PageBytes)
 	set := int(pageIdx % uint64(s.sets))
@@ -84,14 +84,11 @@ func (s *SubblockCache) Access(rec memtrace.Record) Outcome {
 			if rec.Write {
 				e.Value.Dirty |= bit
 			}
-			return Outcome{
-				Hit:       true,
-				TagCycles: s.tagCycles,
-				Ops: []Op{{
-					Level: Stacked, Addr: frame, Bytes: 64,
-					Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
-				}},
-			}
+			ops = append(ops[:0], Op{
+				Level: Stacked, Addr: frame, Bytes: 64,
+				Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
+			})
+			return Outcome{Hit: true, TagCycles: s.tagCycles, Ops: ops}
 		}
 		// Page present, block absent: demand-fetch just this block
 		// (writes carry the whole block, so they skip the fetch).
@@ -100,23 +97,19 @@ func (s *SubblockCache) Access(rec memtrace.Record) Outcome {
 		e.Value.Demanded |= bit
 		if rec.Write {
 			e.Value.Dirty |= bit
-			return Outcome{
-				TagCycles: s.tagCycles,
-				Ops:       []Op{{Level: Stacked, Addr: frame, Bytes: 64, Write: true, DependsOn: NoDep}},
-			}
+			ops = append(ops[:0], Op{Level: Stacked, Addr: frame, Bytes: 64, Write: true, DependsOn: NoDep})
+			return Outcome{TagCycles: s.tagCycles, Ops: ops}
 		}
-		return Outcome{
-			TagCycles: s.tagCycles,
-			Ops: []Op{
-				{Level: OffChip, Addr: rec.Addr, Bytes: 64, Critical: true, DependsOn: NoDep},
-				{Level: Stacked, Addr: frame, Bytes: 64, Write: true, DependsOn: 0},
-			},
-		}
+		ops = append(ops[:0],
+			Op{Level: OffChip, Addr: rec.Addr, Bytes: 64, Critical: true, DependsOn: NoDep},
+			Op{Level: Stacked, Addr: frame, Bytes: 64, Write: true, DependsOn: 0},
+		)
+		return Outcome{TagCycles: s.tagCycles, Ops: ops}
 	}
 
 	// Page miss: allocate the tag, fetch only the demanded block.
 	s.ctr.Misses++
-	var ops []Op
+	ops = ops[:0]
 	victim := s.tags.Victim(set)
 	frame := s.frameAddr(set, victim.Way())
 	if victim.Valid() {

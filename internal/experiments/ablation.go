@@ -32,29 +32,29 @@ func (r SingletonRow) Reduction() float64 {
 // capacities where effective capacity matters most (§4.4, §6.5).
 func SingletonRows(o Options) ([]SingletonRow, error) {
 	o = o.withDefaults()
-	var rows []SingletonRow
-	for _, wl := range o.Workloads {
-		for _, mb := range o.Capacities {
-			row := SingletonRow{Workload: wl, CapacityMB: mb}
-			for _, kind := range []string{system.KindFootprint, system.KindFootprintNoSingleton} {
-				design, err := system.BuildDesign(system.DesignSpec{
-					Kind: kind, PaperCapacityMB: mb, Scale: o.Scale,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res, err := o.runFunctional(design, wl)
-				if err != nil {
-					return nil, err
-				}
-				if kind == system.KindFootprint {
-					row.MissWith = res.MissRatio()
-				} else {
-					row.MissWithout = res.MissRatio()
-				}
-			}
-			rows = append(rows, row)
+	kinds := []string{system.KindFootprint, system.KindFootprintNoSingleton}
+	pts := o.grid()
+	miss, err := pmap(o, len(pts)*len(kinds), func(i int) (float64, error) {
+		pt, kind := pts[i/len(kinds)], kinds[i%len(kinds)]
+		res, err := o.buildFunctional(system.DesignSpec{
+			Kind: kind, PaperCapacityMB: pt.capacityMB, Scale: o.Scale,
+		}, pt.workload)
+		if err != nil {
+			return 0, err
 		}
+		return res.MissRatio(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SingletonRow
+	for pi, pt := range pts {
+		rows = append(rows, SingletonRow{
+			Workload:    pt.workload,
+			CapacityMB:  pt.capacityMB,
+			MissWith:    miss[pi*2],
+			MissWithout: miss[pi*2+1],
+		})
 	}
 	return rows, nil
 }
@@ -72,30 +72,33 @@ type FetchPolicyRow struct {
 // FetchPolicyRows runs the fetch-policy ablation at 256MB.
 func FetchPolicyRows(o Options) ([]FetchPolicyRow, error) {
 	o = o.withDefaults()
-	var rows []FetchPolicyRow
-	for _, wl := range o.Workloads {
-		row := FetchPolicyRow{Workload: wl}
-		for _, kind := range []string{system.KindSubblock, system.KindFootprint, system.KindPage} {
-			design, err := system.BuildDesign(system.DesignSpec{
-				Kind: kind, PaperCapacityMB: 256, Scale: o.Scale,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := o.runFunctional(design, wl)
-			if err != nil {
-				return nil, err
-			}
-			switch kind {
-			case system.KindSubblock:
-				row.MissSubblock, row.BytesSubblock = res.MissRatio(), res.OffChipBytesPerRef()
-			case system.KindFootprint:
-				row.MissFootprint, row.BytesFootprint = res.MissRatio(), res.OffChipBytesPerRef()
-			case system.KindPage:
-				row.MissPage, row.BytesPage = res.MissRatio(), res.OffChipBytesPerRef()
-			}
+	kinds := []string{system.KindSubblock, system.KindFootprint, system.KindPage}
+	type meas struct{ miss, bytesPerRef float64 }
+	res, err := pmap(o, len(o.Workloads)*len(kinds), func(i int) (meas, error) {
+		wl, kind := o.Workloads[i/len(kinds)], kinds[i%len(kinds)]
+		r, err := o.buildFunctional(system.DesignSpec{
+			Kind: kind, PaperCapacityMB: 256, Scale: o.Scale,
+		}, wl)
+		if err != nil {
+			return meas{}, err
 		}
-		rows = append(rows, row)
+		return meas{r.MissRatio(), r.OffChipBytesPerRef()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []FetchPolicyRow
+	for wi, wl := range o.Workloads {
+		m := res[wi*len(kinds) : (wi+1)*len(kinds)]
+		rows = append(rows, FetchPolicyRow{
+			Workload:       wl,
+			MissSubblock:   m[0].miss,
+			MissFootprint:  m[1].miss,
+			MissPage:       m[2].miss,
+			BytesSubblock:  m[0].bytesPerRef,
+			BytesFootprint: m[1].bytesPerRef,
+			BytesPage:      m[2].bytesPerRef,
+		})
 	}
 	return rows, nil
 }
@@ -117,34 +120,65 @@ type FeedbackRow struct {
 // paper's replace policy tracks phase changes instead.
 func FeedbackRows(o Options) ([]FeedbackRow, error) {
 	o = o.withDefaults()
-	var rows []FeedbackRow
-	for _, wl := range o.Workloads {
-		row := FeedbackRow{Workload: wl}
-		for _, kind := range []string{system.KindFootprint, system.KindFootprintUnion} {
-			design, err := system.BuildDesign(system.DesignSpec{
-				Kind: kind, PaperCapacityMB: 256, Scale: o.Scale,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := o.runFunctional(design, wl)
-			if err != nil {
-				return nil, err
-			}
-			fp := res.Footprint
-			if kind == system.KindFootprint {
-				row.MissReplace = res.MissRatio()
-				row.BytesReplace = res.OffChipBytesPerRef()
-				row.CoverReplace, row.OverReplace = fp.Coverage(), fp.Overprediction()
-			} else {
-				row.MissUnion = res.MissRatio()
-				row.BytesUnion = res.OffChipBytesPerRef()
-				row.CoverUnion, row.OverUnion = fp.Coverage(), fp.Overprediction()
-			}
+	kinds := []string{system.KindFootprint, system.KindFootprintUnion}
+	type meas struct{ miss, bytesPerRef, cover, over float64 }
+	res, err := pmap(o, len(o.Workloads)*len(kinds), func(i int) (meas, error) {
+		wl, kind := o.Workloads[i/len(kinds)], kinds[i%len(kinds)]
+		r, err := o.buildFunctional(system.DesignSpec{
+			Kind: kind, PaperCapacityMB: 256, Scale: o.Scale,
+		}, wl)
+		if err != nil {
+			return meas{}, err
 		}
-		rows = append(rows, row)
+		fp := r.Footprint
+		if fp == nil {
+			return meas{}, fmt.Errorf("feedback ablation: no footprint stats for %s/%s", wl, kind)
+		}
+		return meas{r.MissRatio(), r.OffChipBytesPerRef(), fp.Coverage(), fp.Overprediction()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []FeedbackRow
+	for wi, wl := range o.Workloads {
+		repl, union := res[wi*2], res[wi*2+1]
+		rows = append(rows, FeedbackRow{
+			Workload:     wl,
+			MissReplace:  repl.miss,
+			MissUnion:    union.miss,
+			CoverReplace: repl.cover,
+			CoverUnion:   union.cover,
+			OverReplace:  repl.over,
+			OverUnion:    union.over,
+			BytesReplace: repl.bytesPerRef,
+			BytesUnion:   union.bytesPerRef,
+		})
 	}
 	return rows, nil
+}
+
+// AblationRowSet bundles the three ablation studies for
+// machine-readable output.
+type AblationRowSet struct {
+	Singleton   []SingletonRow
+	FetchPolicy []FetchPolicyRow
+	Feedback    []FeedbackRow
+}
+
+// AblationRows computes all three ablation studies.
+func AblationRows(o Options) (AblationRowSet, error) {
+	var set AblationRowSet
+	var err error
+	if set.Singleton, err = SingletonRows(o); err != nil {
+		return AblationRowSet{}, err
+	}
+	if set.FetchPolicy, err = FetchPolicyRows(o); err != nil {
+		return AblationRowSet{}, err
+	}
+	if set.Feedback, err = FeedbackRows(o); err != nil {
+		return AblationRowSet{}, err
+	}
+	return set, nil
 }
 
 // Ablations renders both ablation studies.

@@ -3,6 +3,13 @@
 // render itself; cmd/fpbench and the root bench harness are thin
 // wrappers around this package.
 //
+// Every driver decomposes its grid into independent simulation points
+// and submits them to the internal/sweep executor, so multi-core
+// machines sweep the (workload x design x capacity) space in
+// parallel. Results are gathered in declaration order, which makes
+// output byte-identical between serial and parallel runs (see the
+// determinism regression test in parallel_test.go).
+//
 // The per-experiment index lives in DESIGN.md §4. Experiments run at
 // a capacity scale factor (DESIGN.md §2) but are labelled with
 // paper-equivalent capacities.
@@ -14,6 +21,7 @@ import (
 
 	"fpcache/internal/dcache"
 	"fpcache/internal/memtrace"
+	"fpcache/internal/sweep"
 	"fpcache/internal/synth"
 	"fpcache/internal/system"
 )
@@ -36,7 +44,17 @@ type Options struct {
 	Workloads []string
 	// Capacities are paper-scale MB points (default 64-512).
 	Capacities []int
+	// Workers bounds the simulation-point fan-out: 0 (the zero value)
+	// and 1 run serially, higher values run that many points
+	// concurrently, and negative values use GOMAXPROCS. Output is
+	// byte-identical at every setting.
+	Workers int
 }
+
+// WithDefaults returns the options as every driver will actually run
+// them, with zero fields replaced by their defaults — what a
+// machine-readable report should record as the run configuration.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
 	if o.Scale == 0 {
@@ -61,6 +79,38 @@ func (o Options) withDefaults() Options {
 		o.Capacities = []int{64, 128, 256, 512}
 	}
 	return o
+}
+
+// workerCount resolves the Workers option to a concrete pool size.
+func (o Options) workerCount() int {
+	if o.Workers == 0 {
+		return 1
+	}
+	return sweep.Workers(o.Workers)
+}
+
+// pmap fans n independent simulation points out over the options'
+// worker pool and gathers the results in point order.
+func pmap[T any](o Options, n int, job func(i int) (T, error)) ([]T, error) {
+	return sweep.Map(o.workerCount(), n, job)
+}
+
+// gridPoint is one (workload, capacity) cell of an experiment grid.
+type gridPoint struct {
+	workload   string
+	capacityMB int
+}
+
+// grid returns the workload x capacity cross product in declaration
+// order (workloads outer, capacities inner — the paper's row order).
+func (o Options) grid() []gridPoint {
+	pts := make([]gridPoint, 0, len(o.Workloads)*len(o.Capacities))
+	for _, wl := range o.Workloads {
+		for _, mb := range o.Capacities {
+			pts = append(pts, gridPoint{wl, mb})
+		}
+	}
+	return pts
 }
 
 // trace builds a generator for a workload at the options' scale.
@@ -99,23 +149,57 @@ func (o Options) runTiming(design dcache.Design, workload string) (system.Timing
 	}), nil
 }
 
+// buildFunctional constructs a design and runs one functional point —
+// the body of most sweep jobs.
+func (o Options) buildFunctional(spec system.DesignSpec, workload string) (system.FunctionalResult, error) {
+	design, err := system.BuildDesign(spec)
+	if err != nil {
+		return system.FunctionalResult{}, err
+	}
+	return o.runFunctional(design, workload)
+}
+
+// buildTiming constructs a design and runs one timing point.
+func (o Options) buildTiming(spec system.DesignSpec, workload string) (system.TimingResult, error) {
+	design, err := system.BuildDesign(spec)
+	if err != nil {
+		return system.TimingResult{}, err
+	}
+	return o.runTiming(design, workload)
+}
+
 // Runner is the common shape of every experiment driver.
 type Runner func(o Options, w io.Writer) error
 
+// RowsFunc computes an experiment's typed rows without rendering —
+// the machine-readable face of a driver (fpbench -json).
+type RowsFunc func(o Options) (any, error)
+
+// experiment pairs a driver's renderer with its rows function.
+type experiment struct {
+	render Runner
+	rows   RowsFunc
+}
+
+// rowsOf adapts a typed rows function to the RowsFunc shape.
+func rowsOf[T any](fn func(Options) ([]T, error)) RowsFunc {
+	return func(o Options) (any, error) { return fn(o) }
+}
+
 // registry maps experiment identifiers to drivers.
-var registry = map[string]Runner{
-	"figure1":  Figure1,
-	"figure4":  Figure4,
-	"figure5":  Figure5,
-	"figure6":  Figure6,
-	"figure7":  Figure7,
-	"figure8":  Figure8,
-	"figure9":  Figure9,
-	"figure10": Figure10,
-	"figure11": Figure11,
-	"figure12": Figure12,
-	"table4":   Table4,
-	"ablation": Ablations,
+var registry = map[string]experiment{
+	"figure1":  {Figure1, rowsOf(Figure1Rows)},
+	"figure4":  {Figure4, rowsOf(Figure4Rows)},
+	"figure5":  {Figure5, rowsOf(Figure5Rows)},
+	"figure6":  {Figure6, rowsOf(Figure6Rows)},
+	"figure7":  {Figure7, rowsOf(Figure7Rows)},
+	"figure8":  {Figure8, rowsOf(Figure8Rows)},
+	"figure9":  {Figure9, rowsOf(Figure9Rows)},
+	"figure10": {Figure10, rowsOf(Figure10Rows)},
+	"figure11": {Figure11, rowsOf(Figure11Rows)},
+	"figure12": {Figure12, rowsOf(Figure12Rows)},
+	"table4":   {Table4, rowsOf(Table4Rows)},
+	"ablation": {Ablations, func(o Options) (any, error) { return AblationRows(o) }},
 }
 
 // order lists experiments in paper order for "run everything".
@@ -129,14 +213,27 @@ func Names() []string { return append([]string(nil), order...) }
 
 // Run executes one experiment by identifier.
 func Run(name string, o Options, w io.Writer) error {
-	r, ok := registry[name]
+	e, ok := registry[name]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	return r(o, w)
+	return e.render(o, w)
 }
 
-// RunAll executes every experiment in paper order.
+// Rows computes the typed rows backing one experiment, without
+// rendering tables.
+func Rows(name string, o Options) (any, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.rows(o)
+}
+
+// RunAll executes every experiment in paper order. Individual
+// experiments parallelize internally per Options.Workers; running the
+// experiments themselves in sequence keeps output streaming in paper
+// order and bounds concurrency at one worker pool.
 func RunAll(o Options, w io.Writer) error {
 	for _, name := range order {
 		if err := Run(name, o, w); err != nil {

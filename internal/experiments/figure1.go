@@ -41,39 +41,47 @@ func highBWConfig(halfLatency bool) dram.Config {
 	return cfg
 }
 
-// Figure1Rows computes the opportunity study.
+// Figure1Rows computes the opportunity study. The three timing runs
+// of every workload (baseline pod, high-BW stacked memory, and its
+// half-latency variant) are independent simulation points, swept in
+// parallel.
 func Figure1Rows(o Options) ([]Figure1Row, error) {
 	o = o.withDefaults()
-	var rows []Figure1Row
-	for _, wl := range o.Workloads {
-		base, err := o.runTiming(dcache.NewBaseline(), wl)
-		if err != nil {
-			return nil, err
-		}
-		run := func(half bool) (float64, error) {
-			src, prof, err := o.trace(wl)
+	const variants = 3 // baseline, high-BW, high-BW + low-latency
+	ipcs, err := pmap(o, variants*len(o.Workloads), func(i int) (float64, error) {
+		wl, variant := o.Workloads[i/variants], i%variants
+		if variant == 0 {
+			res, err := o.runTiming(dcache.NewBaseline(), wl)
 			if err != nil {
 				return 0, err
 			}
-			cfg := highBWConfig(half)
-			res := system.RunTiming(dcache.NewIdeal(), src, system.TimingConfig{
-				Cores:      prof.Cores,
-				MLP:        prof.MLP,
-				WarmupRefs: o.WarmupRefs,
-				MaxRefs:    o.TimingRefs,
-				Stacked:    &cfg,
-			})
-			return res.AggIPC()/base.AggIPC() - 1, nil
+			return res.AggIPC(), nil
 		}
-		hb, err := run(false)
+		src, prof, err := o.trace(wl)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		hbll, err := run(true)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Figure1Row{Workload: wl, HighBW: hb, HighBWLowLat: hbll})
+		cfg := highBWConfig(variant == 2)
+		res := system.RunTiming(dcache.NewIdeal(), src, system.TimingConfig{
+			Cores:      prof.Cores,
+			MLP:        prof.MLP,
+			WarmupRefs: o.WarmupRefs,
+			MaxRefs:    o.TimingRefs,
+			Stacked:    &cfg,
+		})
+		return res.AggIPC(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure1Row
+	for wi, wl := range o.Workloads {
+		base := ipcs[wi*variants]
+		rows = append(rows, Figure1Row{
+			Workload:     wl,
+			HighBW:       ipcs[wi*variants+1]/base - 1,
+			HighBWLowLat: ipcs[wi*variants+2]/base - 1,
+		})
 	}
 	return rows, nil
 }

@@ -21,35 +21,33 @@ type EnergyRow struct {
 }
 
 // energyRows runs the 256MB timing comparison that backs both energy
-// figures.
+// figures, sweeping the (workload, design) grid in parallel.
 func energyRows(o Options) ([]EnergyRow, error) {
 	o = o.withDefaults()
-	var rows []EnergyRow
-	for _, wl := range o.Workloads {
-		row := EnergyRow{Workload: wl}
-		for _, kind := range []string{system.KindBaseline, system.KindBlock, system.KindPage, system.KindFootprint} {
-			design, err := system.BuildDesign(system.DesignSpec{
-				Kind: kind, PaperCapacityMB: 256, Scale: o.Scale,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := o.runTiming(design, wl)
-			if err != nil {
-				return nil, err
-			}
-			slot := &row.Baseline
-			switch kind {
-			case system.KindBlock:
-				slot = &row.Block
-			case system.KindPage:
-				slot = &row.Page
-			case system.KindFootprint:
-				slot = &row.Footprint
-			}
-			slot.OffChip = res.OffChipEnergyPerInstr()
-			slot.Stacked = res.StackedEnergyPerInstr()
+	kinds := []string{system.KindBaseline, system.KindBlock, system.KindPage, system.KindFootprint}
+	type slot struct{ OffChip, Stacked energy.Breakdown }
+	slots, err := pmap(o, len(o.Workloads)*len(kinds), func(i int) (slot, error) {
+		wl := o.Workloads[i/len(kinds)]
+		kind := kinds[i%len(kinds)]
+		res, err := o.buildTiming(system.DesignSpec{
+			Kind: kind, PaperCapacityMB: 256, Scale: o.Scale,
+		}, wl)
+		if err != nil {
+			return slot{}, err
 		}
+		return slot{res.OffChipEnergyPerInstr(), res.StackedEnergyPerInstr()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []EnergyRow
+	for wi, wl := range o.Workloads {
+		row := EnergyRow{Workload: wl}
+		s := slots[wi*len(kinds) : (wi+1)*len(kinds)] // kinds order
+		row.Baseline.OffChip, row.Baseline.Stacked = s[0].OffChip, s[0].Stacked
+		row.Block.OffChip, row.Block.Stacked = s[1].OffChip, s[1].Stacked
+		row.Page.OffChip, row.Page.Stacked = s[2].OffChip, s[2].Stacked
+		row.Footprint.OffChip, row.Footprint.Stacked = s[3].OffChip, s[3].Stacked
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -28,15 +28,15 @@ type Figure12Row struct {
 func Figure12Rows(o Options) ([]Figure12Row, error) {
 	o = o.withDefaults()
 	const pageBytes = 4096 // CHOP's optimal page size (§6.7)
-	var rows []Figure12Row
-	for _, wl := range o.Workloads {
+	return pmap(o, len(o.Workloads), func(i int) (Figure12Row, error) {
+		wl := o.Workloads[i]
 		src, _, err := o.trace(wl)
 		if err != nil {
-			return nil, err
+			return Figure12Row{}, err
 		}
 		counts := make(map[uint64]uint64)
 		total := o.WarmupRefs + o.Refs
-		for i := 0; i < total; i++ {
+		for r := 0; r < total; r++ {
 			rec, ok := src.Next()
 			if !ok {
 				break
@@ -48,9 +48,8 @@ func Figure12Rows(o Options) ([]Figure12Row, error) {
 		for _, s := range sizes {
 			row.SizesMB = append(row.SizesMB, float64(s)/o.Scale/(1<<20))
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Figure12 renders the coverage curves.

@@ -27,33 +27,31 @@ type Figure4Row struct {
 // as Footprint Cache's demanded vectors would record it (§6.1).
 func Figure4Rows(o Options) ([]Figure4Row, error) {
 	o = o.withDefaults()
-	var rows []Figure4Row
-	for _, wl := range o.Workloads {
-		for _, mb := range o.Capacities {
-			design, err := system.BuildDesign(system.DesignSpec{
-				Kind: system.KindPage, PaperCapacityMB: mb, Scale: o.Scale,
-			})
-			if err != nil {
-				return nil, err
-			}
-			pc := design.(*dcache.PageCache)
-			h := stats.NewHistogram(1, 3, 7, 15, 31, 32)
-			pc.OnEvict = func(demanded, pageBlocks int) {
-				if demanded > 0 {
-					h.Add(int64(demanded))
-				}
-			}
-			if _, err := o.runFunctional(design, wl); err != nil {
-				return nil, err
-			}
-			row := Figure4Row{Workload: wl, CapacityMB: mb, Pages: h.Total()}
-			for i := 0; i < 6; i++ {
-				row.Fractions[i] = h.Fraction(i)
-			}
-			rows = append(rows, row)
+	pts := o.grid()
+	return pmap(o, len(pts), func(i int) (Figure4Row, error) {
+		wl, mb := pts[i].workload, pts[i].capacityMB
+		design, err := system.BuildDesign(system.DesignSpec{
+			Kind: system.KindPage, PaperCapacityMB: mb, Scale: o.Scale,
+		})
+		if err != nil {
+			return Figure4Row{}, err
 		}
-	}
-	return rows, nil
+		pc := design.(*dcache.PageCache)
+		h := stats.NewHistogram(1, 3, 7, 15, 31, 32)
+		pc.OnEvict = func(demanded, pageBlocks int) {
+			if demanded > 0 {
+				h.Add(int64(demanded))
+			}
+		}
+		if _, err := o.runFunctional(design, wl); err != nil {
+			return Figure4Row{}, err
+		}
+		row := Figure4Row{Workload: wl, CapacityMB: mb, Pages: h.Total()}
+		for b := 0; b < 6; b++ {
+			row.Fractions[b] = h.Fraction(b)
+		}
+		return row, nil
+	})
 }
 
 // Figure4 renders the density histograms.

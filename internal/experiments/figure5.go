@@ -20,46 +20,53 @@ type Figure5Row struct {
 }
 
 // Figure5Rows measures miss ratio and off-chip traffic for the
-// page-based, Footprint, and block-based designs (§6.2).
+// page-based, Footprint, and block-based designs (§6.2). The
+// per-workload baselines (the traffic normalizer) sweep first; the
+// (workload, capacity, design) grid sweeps second.
 func Figure5Rows(o Options) ([]Figure5Row, error) {
 	o = o.withDefaults()
+	baseBW, err := pmap(o, len(o.Workloads), func(i int) (float64, error) {
+		base, err := o.buildFunctional(system.DesignSpec{Kind: system.KindBaseline}, o.Workloads[i])
+		if err != nil {
+			return 0, err
+		}
+		return base.OffChipBytesPerRef(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	kinds := []string{system.KindPage, system.KindFootprint, system.KindBlock}
+	pts := o.grid()
+	type meas struct{ miss, bytesPerRef float64 }
+	res, err := pmap(o, len(pts)*len(kinds), func(i int) (meas, error) {
+		pt, kind := pts[i/len(kinds)], kinds[i%len(kinds)]
+		r, err := o.buildFunctional(system.DesignSpec{
+			Kind: kind, PaperCapacityMB: pt.capacityMB, Scale: o.Scale,
+		}, pt.workload)
+		if err != nil {
+			return meas{}, err
+		}
+		return meas{r.MissRatio(), r.OffChipBytesPerRef()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []Figure5Row
-	for _, wl := range o.Workloads {
-		baseDesign, err := system.BuildDesign(system.DesignSpec{Kind: system.KindBaseline})
-		if err != nil {
-			return nil, err
-		}
-		base, err := o.runFunctional(baseDesign, wl)
-		if err != nil {
-			return nil, err
-		}
-		baseBW := base.OffChipBytesPerRef()
-		for _, mb := range o.Capacities {
-			row := Figure5Row{Workload: wl, CapacityMB: mb}
-			for _, kind := range []string{system.KindPage, system.KindFootprint, system.KindBlock} {
-				design, err := system.BuildDesign(system.DesignSpec{
-					Kind: kind, PaperCapacityMB: mb, Scale: o.Scale,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res, err := o.runFunctional(design, wl)
-				if err != nil {
-					return nil, err
-				}
-				miss := res.MissRatio()
-				bw := stats.Ratio(res.OffChipBytesPerRef(), baseBW)
-				switch kind {
-				case system.KindPage:
-					row.MissPage, row.BWPage = miss, bw
-				case system.KindFootprint:
-					row.MissFootprint, row.BWFootprint = miss, bw
-				case system.KindBlock:
-					row.MissBlock, row.BWBlock = miss, bw
-				}
-			}
-			rows = append(rows, row)
-		}
+	for pi, pt := range pts {
+		base := baseBW[pi/len(o.Capacities)]
+		m := res[pi*len(kinds) : (pi+1)*len(kinds)]
+		rows = append(rows, Figure5Row{
+			Workload:      pt.workload,
+			CapacityMB:    pt.capacityMB,
+			MissPage:      m[0].miss,
+			MissFootprint: m[1].miss,
+			MissBlock:     m[2].miss,
+			BWPage:        stats.Ratio(m[0].bytesPerRef, base),
+			BWFootprint:   stats.Ratio(m[1].bytesPerRef, base),
+			BWBlock:       stats.Ratio(m[2].bytesPerRef, base),
+		})
 	}
 	return rows, nil
 }

@@ -18,51 +18,58 @@ type PerfRow struct {
 	Block, Page, Footprint, Ideal float64
 }
 
-// perfRows runs the timing comparison for the given workloads.
+// perfRows runs the timing comparison for the given workloads. The
+// capacity-independent anchors (baseline and ideal, once per
+// workload) sweep first, then the full (workload, capacity, design)
+// timing grid.
 func perfRows(o Options, workloads []string) ([]PerfRow, error) {
+	anchors, err := pmap(o, 2*len(workloads), func(i int) (float64, error) {
+		wl := workloads[i/2]
+		kind := system.KindBaseline
+		if i%2 == 1 {
+			kind = system.KindIdeal // capacity-independent; once per workload
+		}
+		res, err := o.buildTiming(system.DesignSpec{Kind: kind}, wl)
+		if err != nil {
+			return 0, err
+		}
+		return res.AggIPC(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	kinds := []string{system.KindBlock, system.KindPage, system.KindFootprint}
+	nPer := len(o.Capacities) * len(kinds)
+	ipcs, err := pmap(o, len(workloads)*nPer, func(i int) (float64, error) {
+		wl := workloads[i/nPer]
+		mb := o.Capacities[i%nPer/len(kinds)]
+		kind := kinds[i%len(kinds)]
+		res, err := o.buildTiming(system.DesignSpec{
+			Kind: kind, PaperCapacityMB: mb, Scale: o.Scale,
+		}, wl)
+		if err != nil {
+			return 0, err
+		}
+		return res.AggIPC(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []PerfRow
-	for _, wl := range workloads {
-		baseDesign, err := system.BuildDesign(system.DesignSpec{Kind: system.KindBaseline})
-		if err != nil {
-			return nil, err
-		}
-		base, err := o.runTiming(baseDesign, wl)
-		if err != nil {
-			return nil, err
-		}
-		// Ideal is capacity-independent; measure once per workload.
-		idealDesign, err := system.BuildDesign(system.DesignSpec{Kind: system.KindIdeal})
-		if err != nil {
-			return nil, err
-		}
-		ideal, err := o.runTiming(idealDesign, wl)
-		if err != nil {
-			return nil, err
-		}
-		for _, mb := range o.Capacities {
-			row := PerfRow{Workload: wl, CapacityMB: mb, Ideal: ideal.AggIPC()/base.AggIPC() - 1}
-			for _, kind := range []string{system.KindBlock, system.KindPage, system.KindFootprint} {
-				design, err := system.BuildDesign(system.DesignSpec{
-					Kind: kind, PaperCapacityMB: mb, Scale: o.Scale,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res, err := o.runTiming(design, wl)
-				if err != nil {
-					return nil, err
-				}
-				imp := res.AggIPC()/base.AggIPC() - 1
-				switch kind {
-				case system.KindBlock:
-					row.Block = imp
-				case system.KindPage:
-					row.Page = imp
-				case system.KindFootprint:
-					row.Footprint = imp
-				}
-			}
-			rows = append(rows, row)
+	for wi, wl := range workloads {
+		base, ideal := anchors[wi*2], anchors[wi*2+1]
+		for ci, mb := range o.Capacities {
+			off := wi*nPer + ci*len(kinds)
+			rows = append(rows, PerfRow{
+				Workload:   wl,
+				CapacityMB: mb,
+				Block:      ipcs[off]/base - 1,
+				Page:       ipcs[off+1]/base - 1,
+				Footprint:  ipcs[off+2]/base - 1,
+				Ideal:      ideal/base - 1,
+			})
 		}
 	}
 	return rows, nil

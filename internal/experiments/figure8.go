@@ -25,35 +25,30 @@ type Figure8Row struct {
 // the page size, for a 256MB cache with 16K FHT entries (§6.4).
 func Figure8Rows(o Options) ([]Figure8Row, error) {
 	o = o.withDefaults()
-	var rows []Figure8Row
-	for _, wl := range o.Workloads {
-		for _, pageBytes := range []int{1024, 2048, 4096} {
-			design, err := system.BuildDesign(system.DesignSpec{
-				Kind: system.KindFootprint, PaperCapacityMB: 256, Scale: o.Scale,
-				PageBytes: pageBytes,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := o.runFunctional(design, wl)
-			if err != nil {
-				return nil, err
-			}
-			fp := res.Footprint
-			if fp == nil {
-				return nil, fmt.Errorf("figure8: no footprint stats for %s", wl)
-			}
-			rows = append(rows, Figure8Row{
-				Workload:  wl,
-				PageBytes: pageBytes,
-				Covered:   fp.Coverage(),
-				Under:     1 - fp.Coverage(),
-				Over:      fp.Overprediction(),
-			})
+	pageSizes := []int{1024, 2048, 4096}
+	_ = core.Stats{} // keep the core dependency explicit
+	return pmap(o, len(o.Workloads)*len(pageSizes), func(i int) (Figure8Row, error) {
+		wl := o.Workloads[i/len(pageSizes)]
+		pageBytes := pageSizes[i%len(pageSizes)]
+		res, err := o.buildFunctional(system.DesignSpec{
+			Kind: system.KindFootprint, PaperCapacityMB: 256, Scale: o.Scale,
+			PageBytes: pageBytes,
+		}, wl)
+		if err != nil {
+			return Figure8Row{}, err
 		}
-		_ = core.Stats{} // keep the core dependency explicit
-	}
-	return rows, nil
+		fp := res.Footprint
+		if fp == nil {
+			return Figure8Row{}, fmt.Errorf("figure8: no footprint stats for %s", wl)
+		}
+		return Figure8Row{
+			Workload:  wl,
+			PageBytes: pageBytes,
+			Covered:   fp.Coverage(),
+			Under:     1 - fp.Coverage(),
+			Over:      fp.Overprediction(),
+		}, nil
+	})
 }
 
 // Figure8 renders predictor accuracy vs page size.

@@ -21,24 +21,27 @@ type Figure9Row struct {
 // number of FHT entries (256MB cache, 2KB pages, §6.4).
 func Figure9Rows(o Options) ([]Figure9Row, error) {
 	o = o.withDefaults()
-	var rows []Figure9Row
-	for _, wl := range o.Workloads {
-		row := Figure9Row{Workload: wl}
-		for _, entries := range FHTSizes {
-			design, err := system.BuildDesign(system.DesignSpec{
-				Kind: system.KindFootprint, PaperCapacityMB: 256, Scale: o.Scale,
-				FHTEntries: entries,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := o.runFunctional(design, wl)
-			if err != nil {
-				return nil, err
-			}
-			row.HitRatios = append(row.HitRatios, res.Counters.HitRatio())
+	ratios, err := pmap(o, len(o.Workloads)*len(FHTSizes), func(i int) (float64, error) {
+		wl := o.Workloads[i/len(FHTSizes)]
+		entries := FHTSizes[i%len(FHTSizes)]
+		res, err := o.buildFunctional(system.DesignSpec{
+			Kind: system.KindFootprint, PaperCapacityMB: 256, Scale: o.Scale,
+			FHTEntries: entries,
+		}, wl)
+		if err != nil {
+			return 0, err
 		}
-		rows = append(rows, row)
+		return res.Counters.HitRatio(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure9Row
+	for wi, wl := range o.Workloads {
+		rows = append(rows, Figure9Row{
+			Workload:  wl,
+			HitRatios: ratios[wi*len(FHTSizes) : (wi+1)*len(FHTSizes)],
+		})
 	}
 	return rows, nil
 }

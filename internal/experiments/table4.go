@@ -30,15 +30,15 @@ type Table4Row struct {
 // report through MetadataBits.
 func Table4Rows(o Options) ([]Table4Row, error) {
 	o = o.withDefaults()
-	var rows []Table4Row
-	for _, mb := range o.Capacities {
+	return pmap(o, len(o.Capacities), func(i int) (Table4Row, error) {
+		mb := o.Capacities[i]
 		capBytes := int64(mb) << 20
 		geom := dcache.PageGeometry{CapacityBytes: capBytes, PageBytes: 2048, Ways: 16}
 
 		fpCfg := core.Default(capBytes)
 		mmEntries, mmWays, mmLat := dcache.MissMapParams(mb)
 
-		rows = append(rows, Table4Row{
+		return Table4Row{
 			CapacityMB:      mb,
 			FootprintMB:     float64(core.MetadataBits(fpCfg)) / 8 / (1 << 20),
 			FootprintCycles: system.TagLatencyFor(system.KindFootprint, mb),
@@ -48,9 +48,8 @@ func Table4Rows(o Options) ([]Table4Row, error) {
 			MissMapCycles:   mmLat,
 			PageMB:          float64(dcache.PageMetadataBits(geom)) / 8 / (1 << 20),
 			PageCycles:      system.TagLatencyFor(system.KindPage, mb),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table4 renders the cache-parameter table.

@@ -5,6 +5,12 @@
 // Components schedule callbacks at absolute cycle times; the engine
 // runs them in (time, insertion-order) order, so simulations are fully
 // deterministic for a given seed and configuration.
+//
+// Fired and cancelled events are recycled through a free list, so a
+// steady-state simulation churns no *event allocations: the live
+// allocation count is bounded by the maximum number of simultaneously
+// pending events. Tickets carry a generation counter so cancelling an
+// already-recycled event is a safe no-op.
 package sim
 
 import "container/heap"
@@ -19,6 +25,9 @@ type event struct {
 	fn   func()
 	idx  int
 	dead bool
+	// gen increments every time the event object is recycled,
+	// invalidating Tickets issued for earlier incarnations.
+	gen uint32
 }
 
 type eventHeap []*event
@@ -55,6 +64,7 @@ type Engine struct {
 	now   Cycle
 	seq   uint64
 	queue eventHeap
+	free  []*event
 	// Executed counts events run, for progress reporting and
 	// runaway-simulation guards.
 	Executed uint64
@@ -63,8 +73,39 @@ type Engine struct {
 // Now returns the current simulated time.
 func (e *Engine) Now() Cycle { return e.now }
 
-// Ticket identifies a scheduled event so it can be cancelled.
-type Ticket struct{ ev *event }
+// Ticket identifies a scheduled event so it can be cancelled. The
+// generation guards against the event object having been recycled for
+// a later schedule.
+type Ticket struct {
+	ev  *event
+	gen uint32
+}
+
+// newEvent takes an event from the free list (or allocates one) and
+// initializes it for scheduling.
+func (e *Engine) newEvent(at Cycle, fn func()) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.fn, ev.dead = at, fn, false
+	} else {
+		ev = &event{at: at, fn: fn}
+	}
+	ev.seq = e.seq
+	e.seq++
+	return ev
+}
+
+// recycle returns a popped event to the free list, invalidating any
+// outstanding Tickets for it.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.dead = true
+	ev.gen++
+	e.free = append(e.free, ev)
+}
 
 // Schedule runs fn at absolute cycle at. Scheduling in the past (at <
 // Now) runs the event at the current time, preserving order. It
@@ -73,10 +114,9 @@ func (e *Engine) Schedule(at Cycle, fn func()) Ticket {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
+	ev := e.newEvent(at, fn)
 	heap.Push(&e.queue, ev)
-	return Ticket{ev: ev}
+	return Ticket{ev: ev, gen: ev.gen}
 }
 
 // After runs fn delta cycles from now.
@@ -88,7 +128,7 @@ func (e *Engine) After(delta Cycle, fn func()) Ticket {
 // already-fired or already-cancelled event is a no-op. It reports
 // whether the event was live.
 func (e *Engine) Cancel(t Ticket) bool {
-	if t.ev == nil || t.ev.dead {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
@@ -105,11 +145,14 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.Executed++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -134,7 +177,7 @@ func (e *Engine) RunUntil(deadline Cycle) Cycle {
 	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.dead {
-			heap.Pop(&e.queue)
+			e.recycle(heap.Pop(&e.queue).(*event))
 			continue
 		}
 		if next.at > deadline {

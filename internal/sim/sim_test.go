@@ -181,6 +181,58 @@ func TestCascadingEvents(t *testing.T) {
 	}
 }
 
+func TestRecycledEventInvalidatesStaleTicket(t *testing.T) {
+	var e Engine
+	tk := e.Schedule(1, func() {})
+	e.Run(nil)
+	// The fired event went back to the free list; its ticket is stale.
+	if e.Cancel(tk) {
+		t.Fatal("stale ticket cancelled a recycled event")
+	}
+	// The next schedule reuses the pooled object: cancelling through
+	// the stale ticket must not kill the new event.
+	fired := false
+	e.Schedule(2, func() { fired = true })
+	if e.Cancel(tk) {
+		t.Fatal("stale ticket reported live after reuse")
+	}
+	e.Run(nil)
+	if !fired {
+		t.Fatal("stale ticket cancelled the reused event")
+	}
+}
+
+func TestCancelledEventsAreRecycled(t *testing.T) {
+	var e Engine
+	for i := 0; i < 10; i++ {
+		e.Cancel(e.Schedule(Cycle(i), func() {}))
+	}
+	e.Run(nil)
+	if e.Executed != 0 {
+		t.Fatalf("cancelled events executed: %d", e.Executed)
+	}
+	if len(e.free) != 10 {
+		t.Fatalf("free list holds %d events, want 10", len(e.free))
+	}
+}
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	var e Engine
+	// Warm the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Cycle(i), func() {})
+	}
+	e.Run(nil)
+	fn := func() {}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now()+1, fn)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+step allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
 // Property: for any schedule of random events, execution times are
 // non-decreasing and every non-cancelled event runs exactly once.
 func TestPropertyEventOrdering(t *testing.T) {

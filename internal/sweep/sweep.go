@@ -1,0 +1,111 @@
+// Package sweep is a deterministic parallel job executor for the
+// simulation harness. Every point of an experiment grid (workload,
+// design, capacity, seed) is an independent simulation, so drivers
+// fan their points out over a bounded worker pool and gather results
+// in job-index order: output is byte-identical no matter how many
+// workers run or how the scheduler interleaves them.
+//
+// The contract that makes this safe is the same one the experiment
+// drivers already obey: a job must build all of its own mutable state
+// (generator, design, trackers) and communicate only through its
+// result. Jobs that share mutable state are not sweepable.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values below 1 select
+// GOMAXPROCS, matching the CLI convention that -j 0 means "all
+// cores".
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes jobs 0..n-1 on at most workers goroutines (workers < 1
+// selects GOMAXPROCS). Execution order across workers is unspecified,
+// but error reporting is deterministic: the lowest-indexed failure is
+// returned — exactly what a serial loop that failed at that job would
+// have reported, so parallel and serial runs are indistinguishable to
+// callers. After a failure, jobs at higher indices than the lowest
+// known failure may be skipped (their results would be discarded
+// anyway); every job below it always runs, which is what keeps the
+// reported error deterministic.
+func Run(workers, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return fmt.Errorf("sweep: job %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failedAt atomic.Int64 // lowest failing index observed so far
+	failedAt.Store(int64(n))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if int64(i) > failedAt.Load() {
+					continue // a lower job already failed; this result would be discarded
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					for {
+						cur := failedAt.Load()
+						if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sweep: job %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Map executes n value-producing jobs under Run's scheduling and
+// returns their results in job-index order.
+func Map[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(workers, n, func(i int) error {
+		v, err := job(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -154,7 +154,28 @@ type Generator struct {
 	nextCPU   uint8
 	focus     int // index of the visit currently emitting a burst
 	burstLeft int
+	// templates memoizes template() results: templates are pure
+	// functions of their key, and visits never mutate the shared
+	// order slices, so caching removes the per-visit PRNG and slice
+	// allocations from the generation hot path.
+	templates map[templateKey]templateVal
 }
+
+// templateKey identifies one deterministic footprint template.
+type templateKey struct {
+	class, pattern int
+	epoch          int64
+}
+
+type templateVal struct {
+	bits  uint64
+	order []uint8
+}
+
+// maxCachedTemplates bounds the memo; drift-heavy profiles mint new
+// epochs over time, so the cache resets rather than growing without
+// bound (recomputation is correct, just slower).
+const maxCachedTemplates = 8192
 
 // NewGenerator builds a generator for the profile at the given
 // capacity scale (1.0 = paper scale). Deterministic for a given seed.
@@ -182,11 +203,12 @@ func NewGenerator(prof Profile, seed int64, scale float64) (*Generator, error) {
 		recWin = 4 * conc
 	}
 	g := &Generator{
-		prof:    prof,
-		rng:     rand.New(rand.NewSource(seed)),
-		seed:    seed,
-		regions: regions,
-		recent:  make([]int64, 0, recWin),
+		prof:      prof,
+		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
+		regions:   regions,
+		recent:    make([]int64, 0, recWin),
+		templates: make(map[templateKey]templateVal),
 	}
 	for i := 0; i < conc; i++ {
 		g.active = append(g.active, g.newVisit())
@@ -229,9 +251,9 @@ func (g *Generator) Next() (memtrace.Record, bool) {
 	}
 
 	if v.next >= len(v.blocks) {
-		// Visit complete: recycle the slot and end the burst.
+		// Visit complete: recycle the slot in place and end the burst.
 		g.remember(v.region)
-		*v = *g.newVisit()
+		g.reinitVisit(v)
 		g.burstLeft = 0
 	}
 	return rec, true
@@ -279,6 +301,15 @@ const crossPatternFrac = 0.10
 // predictor exploits and that also gives block-granularity caches
 // their temporal reuse.
 func (g *Generator) newVisit() *visit {
+	v := new(visit)
+	g.reinitVisit(v)
+	return v
+}
+
+// reinitVisit starts a new pattern activation in an existing slot —
+// the allocation-free form of newVisit used on the generation hot
+// path.
+func (g *Generator) reinitVisit(v *visit) {
 	g.started++
 
 	var region int64
@@ -312,7 +343,7 @@ func (g *Generator) newVisit() *visit {
 	pc := memtrace.PC(0x400000 + uint64(classIdx)*0x10000 + uint64(patternID)*4)
 	core := g.nextCPU
 	g.nextCPU = (g.nextCPU + 1) % uint8(g.prof.Cores)
-	return &visit{region: region, pc: pc, blocks: order, core: core}
+	*v = visit{region: region, pc: pc, blocks: order, core: core}
 }
 
 // template returns the deterministic footprint for a (class, pattern,
@@ -320,6 +351,21 @@ func (g *Generator) newVisit() *visit {
 // of the order defines the (PC, offset) key the predictor will see on
 // the triggering miss.
 func (g *Generator) template(classIdx, patternID int, epoch int64) (bits uint64, order []uint8) {
+	key := templateKey{class: classIdx, pattern: patternID, epoch: epoch}
+	if t, ok := g.templates[key]; ok {
+		return t.bits, t.order
+	}
+	bits, order = g.computeTemplate(classIdx, patternID, epoch)
+	if len(g.templates) >= maxCachedTemplates {
+		clear(g.templates)
+	}
+	g.templates[key] = templateVal{bits: bits, order: order}
+	return bits, order
+}
+
+// computeTemplate derives a template from scratch; template memoizes
+// it (visits share the returned order slice and never mutate it).
+func (g *Generator) computeTemplate(classIdx, patternID int, epoch int64) (bits uint64, order []uint8) {
 	c := g.prof.Classes[classIdx]
 	h := rand.New(rand.NewSource(g.seed ^ int64(classIdx)<<40 ^ int64(patternID)<<8 ^ epoch<<52 ^ 0x5bd1e995))
 	if c.FullRegion {

@@ -84,6 +84,10 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 	offT := dram.NewTracker(offCfg)
 	stkT := dram.NewTracker(stkCfg)
 
+	// One ops scratch buffer serves the whole run: each Access appends
+	// into it and applyOps consumes it before the next reference, so
+	// the steady-state loop allocates nothing.
+	var ops []dcache.Op
 	run := func(n int) uint64 {
 		var refs, instrs uint64
 		for {
@@ -96,8 +100,9 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 			}
 			refs++
 			instrs += uint64(rec.Gap) + 1
-			out := design.Access(rec)
+			out := design.Access(rec, ops)
 			applyOps(out.Ops, offT, stkT)
+			ops = out.Ops
 		}
 		return instrs
 	}

@@ -122,13 +122,15 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 	}
 
 	// Functional warmup: bring tags, MissMap, FHT, and ST to steady
-	// state before the first timed cycle.
+	// state before the first timed cycle. One scratch buffer serves
+	// every warmup Access.
+	var scratch []dcache.Op
 	for i := 0; i < cfg.WarmupRefs; i++ {
 		rec, ok := src.Next()
 		if !ok {
 			break
 		}
-		design.Access(rec)
+		scratch = design.Access(rec, scratch).Ops
 	}
 	ctr0 := design.Counters()
 
@@ -140,9 +142,34 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 	res := TimingResult{Design: design.Name()}
 	var readLatSum, readLatN uint64
 
+	// Timed references outlive the next Access (their ops dispatch
+	// after the SRAM lead time and complete asynchronously), so each
+	// outcome is copied out of the scratch buffer into a pooled
+	// buffer, recycled when its last operation completes. The event
+	// loop is single-threaded, so the pool needs no locking.
+	var opsPool [][]dcache.Op
+	getOps := func(n int) []dcache.Op {
+		if k := len(opsPool); k > 0 {
+			buf := opsPool[k-1]
+			opsPool[k-1] = nil
+			opsPool = opsPool[:k-1]
+			if cap(buf) < n {
+				buf = make([]dcache.Op, n)
+			}
+			return buf[:n]
+		}
+		return make([]dcache.Op, n)
+	}
+	putOps := func(buf []dcache.Op) {
+		opsPool = append(opsPool, buf)
+	}
+
 	issue := func(rec memtrace.Record, done func()) {
 		res.Refs++
-		out := design.Access(rec)
+		out := design.Access(rec, scratch)
+		scratch = out.Ops
+		ops := getOps(len(out.Ops))
+		copy(ops, out.Ops)
 		issuedAt := eng.Now()
 		notify := done
 		if !rec.Write {
@@ -156,7 +183,7 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 		// operations.
 		lead := sim.Cycle(cfg.L2Cycles + out.TagCycles)
 		eng.After(lead, func() {
-			dispatchOps(eng, out.Ops, offC, stkC, notify)
+			dispatchOps(eng, ops, offC, stkC, notify, putOps)
 		})
 	}
 
@@ -186,15 +213,22 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 // dispatchOps turns an outcome's operation DAG into DRAM
 // transactions: ops with no dependency issue immediately, dependents
 // issue on their parent's completion, and done fires when every
-// critical op has completed (immediately if there are none).
-func dispatchOps(eng *sim.Engine, ops []dcache.Op, offC, stkC *dram.Controller, done func()) {
+// critical op has completed (immediately if there are none). When
+// every op (critical or not) has completed, ops is handed to release
+// so pooled buffers can be recycled; dependents are found by scanning
+// ops, which keeps the dispatch free of per-reference bookkeeping
+// allocations (outcome DAGs are at most a few dozen ops deep).
+func dispatchOps(eng *sim.Engine, ops []dcache.Op, offC, stkC *dram.Controller, done func(), release func([]dcache.Op)) {
 	if len(ops) == 0 {
 		done()
+		if release != nil {
+			release(ops)
+		}
 		return
 	}
 	critLeft := 0
-	for _, op := range ops {
-		if op.Critical {
+	for i := range ops {
+		if ops[i].Critical {
 			critLeft++
 		}
 	}
@@ -203,13 +237,7 @@ func dispatchOps(eng *sim.Engine, ops []dcache.Op, offC, stkC *dram.Controller, 
 		// the ops drain in the background.
 		defer done()
 	}
-
-	children := make([][]int, len(ops))
-	for i, op := range ops {
-		if op.DependsOn != dcache.NoDep {
-			children[op.DependsOn] = append(children[op.DependsOn], i)
-		}
-	}
+	allLeft := len(ops)
 
 	var submit func(i int)
 	submit = func(i int) {
@@ -229,16 +257,21 @@ func dispatchOps(eng *sim.Engine, ops []dcache.Op, offC, stkC *dram.Controller, 
 						done()
 					}
 				}
-				for _, ch := range children[i] {
-					submit(ch)
+				for j := range ops {
+					if ops[j].DependsOn == i {
+						submit(j)
+					}
+				}
+				allLeft--
+				if allLeft == 0 && release != nil {
+					release(ops)
 				}
 			},
 		})
 	}
-	for i, op := range ops {
-		if op.DependsOn == dcache.NoDep {
+	for i := range ops {
+		if ops[i].DependsOn == dcache.NoDep {
 			submit(i)
 		}
-		_ = op
 	}
 }
