@@ -14,11 +14,20 @@ import (
 	"fpcache/internal/memtrace"
 )
 
-// allTestableDesigns returns every design kind at a small capacity.
+// allocBudgetKinds is every design the zero-allocation budget covers:
+// the paper's canonical kinds plus policy compositions exercising
+// every engine axis (gated fills, row-spread and hybrid mappings).
+func allocBudgetKinds() []DesignKind {
+	kinds := append(Designs(), HybridDesigns()...)
+	return append(kinds, "page+blockrow", "subblock+hybrid+hotgate", "page+banshee")
+}
+
+// allTestableDesigns returns every covered design kind at a small
+// capacity.
 func allTestableDesigns(tb testing.TB) map[string]dcache.Design {
 	tb.Helper()
 	out := make(map[string]dcache.Design)
-	for _, kind := range Designs() {
+	for _, kind := range allocBudgetKinds() {
 		d, err := NewDesign(Config{Design: kind, PaperCapacityMB: 64, Refs: 1})
 		if err != nil {
 			tb.Fatalf("%s: %v", kind, err)
@@ -70,7 +79,7 @@ func TestAccessZeroAllocs(t *testing.T) {
 // every design under the scratch-buffer contract.
 func BenchmarkDesignAccess(b *testing.B) {
 	recs := accessRecords(1 << 16)
-	for _, kind := range Designs() {
+	for _, kind := range allocBudgetKinds() {
 		b.Run(string(kind), func(b *testing.B) {
 			d, err := NewDesign(Config{Design: kind, PaperCapacityMB: 64, Refs: 1})
 			if err != nil {

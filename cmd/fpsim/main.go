@@ -4,13 +4,24 @@
 // Each of -workload, -design, and -capacity accepts a comma-separated
 // list; fpsim sweeps the cross product over -j parallel workers
 // (internal/sweep), printing reports in declaration order regardless
-// of worker count.
+// of worker count. -design accepts canonical kinds and composite
+// policy specs ("footprint+banshee", "page+blockrow"); -list prints
+// every valid name.
+//
+// Functional runs can be recorded and replayed: -trace-out records
+// the reference stream (warmup included) to a binary trace file while
+// simulating, and -trace-in replays such a file through the design
+// instead of the synthetic generator — bit-identical results, no
+// generator cost.
 //
 // Usage:
 //
 //	fpsim -workload web-search -design footprint -capacity 256
 //	fpsim -design page -mode timing -refs 250000
-//	fpsim -design page,footprint,block -capacity 64,256 -j 4
+//	fpsim -design page,footprint+banshee -capacity 64,256 -j 4
+//	fpsim -design footprint -trace-out run.trace
+//	fpsim -design footprint+hybrid -trace-in run.trace
+//	fpsim -list
 package main
 
 import (
@@ -23,13 +34,15 @@ import (
 	"strings"
 
 	"fpcache"
+	"fpcache/internal/memtrace"
 	"fpcache/internal/sweep"
+	"fpcache/internal/system"
 )
 
 func main() {
 	var (
 		workload = flag.String("workload", fpcache.WebSearch, "workload name(s), comma-separated")
-		design   = flag.String("design", string(fpcache.Footprint), "cache design(s), comma-separated")
+		design   = flag.String("design", string(fpcache.Footprint), "cache design(s) or composite policy spec(s), comma-separated")
 		capMB    = flag.String("capacity", "256", "paper-scale capacity list in MB, comma-separated")
 		scale    = flag.Float64("scale", fpcache.DefaultScale, "capacity scale factor")
 		refs     = flag.Int("refs", 1_000_000, "measured references")
@@ -37,15 +50,36 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		mode     = flag.String("mode", "functional", "simulation mode: functional or timing")
 		workers  = flag.Int("j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
+		traceOut = flag.String("trace-out", "", "record the reference stream to this trace file (functional mode, single point)")
+		traceIn  = flag.String("trace-in", "", "replay a recorded trace file instead of the generator (functional mode)")
+		list     = flag.Bool("list", false, "list workload, design, and policy names and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		printLists(os.Stdout)
+		return
+	}
 
 	if *mode != "functional" && *mode != "timing" {
 		fail(fmt.Errorf("unknown mode %q (functional or timing)", *mode))
 	}
+	if (*traceOut != "" || *traceIn != "") && *mode != "functional" {
+		fail(fmt.Errorf("-trace-out/-trace-in require -mode functional"))
+	}
+	if *traceOut != "" && *traceIn != "" {
+		fail(fmt.Errorf("-trace-out and -trace-in are mutually exclusive"))
+	}
 
 	workloads := splitList(*workload)
 	designs := splitList(*design)
+	for _, d := range designs {
+		// Validate specs up front so a typo fails before the sweep
+		// starts, not at some point mid-run.
+		if _, err := system.NormalizeKind(d); err != nil {
+			fail(err)
+		}
+	}
 	var capacities []int
 	for _, c := range splitList(*capMB) {
 		mb, err := strconv.Atoi(c)
@@ -72,6 +106,9 @@ func main() {
 	if len(pts) == 0 {
 		fail(fmt.Errorf("no simulation points: -workload, -design, and -capacity must each name at least one value"))
 	}
+	if *traceOut != "" && len(pts) > 1 {
+		fail(fmt.Errorf("-trace-out records one run; got %d simulation points", len(pts)))
+	}
 
 	reports, err := sweep.Map(*workers, len(pts), func(i int) (string, error) {
 		p := pts[i]
@@ -86,7 +123,7 @@ func main() {
 		}
 		var buf bytes.Buffer
 		if *mode == "functional" {
-			res, err := fpcache.RunFunctional(cfg)
+			res, err := runFunctionalPoint(cfg, *traceIn, *traceOut)
 			if err != nil {
 				return "", err
 			}
@@ -109,6 +146,98 @@ func main() {
 		}
 		fmt.Print(rep)
 	}
+}
+
+// teeSource passes records through while writing them to a trace
+// file.
+type teeSource struct {
+	src memtrace.Source
+	w   *memtrace.Writer
+	err error
+}
+
+// Next implements memtrace.Source.
+func (t *teeSource) Next() (memtrace.Record, bool) {
+	rec, ok := t.src.Next()
+	if !ok {
+		return rec, false
+	}
+	if t.err == nil {
+		t.err = t.w.Write(rec)
+	}
+	return rec, true
+}
+
+// runFunctionalPoint runs one functional simulation, optionally
+// replaying its reference stream from a trace file (traceIn) or
+// recording it to one (traceOut). A recorded file contains the whole
+// stream — warmup prefix included — so a replay with the same
+// -warmup/-refs split reproduces the run bit-identically.
+func runFunctionalPoint(cfg fpcache.Config, traceIn, traceOut string) (fpcache.FunctionalResult, error) {
+	switch {
+	case traceIn != "":
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return fpcache.FunctionalResult{}, err
+		}
+		defer f.Close()
+		r := memtrace.NewReader(f)
+		res, err := fpcache.RunFunctionalSource(cfg, r)
+		if err == nil {
+			err = r.Err()
+		}
+		if err == nil && res.Refs < uint64(cfg.Refs) {
+			// A short trace silently truncates the run; surface it so a
+			// result never masquerades as a longer measurement.
+			err = fmt.Errorf("trace %s exhausted after %d measured references (want %d; check -warmup/-refs against the recording)",
+				traceIn, res.Refs, cfg.Refs)
+		}
+		return res, err
+	case traceOut != "":
+		src, _, err := fpcache.NewTrace(cfg)
+		if err != nil {
+			return fpcache.FunctionalResult{}, err
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return fpcache.FunctionalResult{}, err
+		}
+		tee := &teeSource{src: src, w: memtrace.NewWriter(f)}
+		res, err := fpcache.RunFunctionalSource(cfg, tee)
+		if err == nil {
+			err = tee.err
+		}
+		if ferr := tee.w.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return res, err
+	default:
+		return fpcache.RunFunctional(cfg)
+	}
+}
+
+// printLists writes the valid workload, design, and policy names.
+func printLists(w io.Writer) {
+	fmt.Fprintln(w, "workloads:")
+	for _, n := range fpcache.Workloads() {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w, "designs:")
+	for _, d := range fpcache.Designs() {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	fmt.Fprintln(w, "hybrid designs:")
+	for _, d := range fpcache.HybridDesigns() {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	p := fpcache.Policies()
+	fmt.Fprintln(w, "policies (compose with '+', e.g. footprint+banshee):")
+	fmt.Fprintf(w, "  alloc:   %s\n", strings.Join(p.Alloc, " "))
+	fmt.Fprintf(w, "  mapping: %s\n", strings.Join(p.Mapping, " "))
+	fmt.Fprintf(w, "  fill:    %s\n", strings.Join(p.Fill, " "))
 }
 
 func splitList(s string) []string {

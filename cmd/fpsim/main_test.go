@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpcache"
+	"fpcache/internal/memtrace"
+)
+
+func testConfig() fpcache.Config {
+	return fpcache.Config{
+		Workload:        fpcache.MapReduce,
+		Design:          fpcache.Footprint,
+		PaperCapacityMB: 64,
+		Scale:           1.0 / 64,
+		Refs:            20_000,
+		WarmupRefs:      10_000,
+		Seed:            3,
+	}
+}
+
+// TestTraceRoundTrip pins the record-and-replay contract: a run
+// recorded with -trace-out and replayed with -trace-in produces a
+// byte-identical FunctionalResult to the live generator run.
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	path := filepath.Join(t.TempDir(), "run.trace")
+
+	live, err := runFunctionalPoint(cfg, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, err := runFunctionalPoint(cfg, "", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := runFunctionalPoint(cfg, path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asJSON := func(v any) string {
+		buf, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+	if asJSON(recorded) != asJSON(live) {
+		t.Fatalf("recording changed the run:\nlive:     %s\nrecorded: %s", asJSON(live), asJSON(recorded))
+	}
+	if asJSON(replayed) != asJSON(live) {
+		t.Fatalf("replay diverges from live run:\nlive:   %s\nreplay: %s", asJSON(live), asJSON(replayed))
+	}
+
+	// The file must hold exactly the consumed stream: warmup + refs.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := memtrace.NewReader(f)
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if r.Err() != nil {
+		t.Fatalf("recorded trace unreadable: %v", r.Err())
+	}
+	if want := cfg.WarmupRefs + cfg.Refs; n != want {
+		t.Fatalf("recorded %d records, want %d (warmup %d + refs %d)", n, want, cfg.WarmupRefs, cfg.Refs)
+	}
+}
+
+// TestTraceReplayAcrossDesigns replays one recorded trace through a
+// different design — the record-once, study-many workflow.
+func TestTraceReplayAcrossDesigns(t *testing.T) {
+	cfg := testConfig()
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if _, err := runFunctionalPoint(cfg, "", path); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Design = fpcache.FootprintBanshee
+	res, err := runFunctionalPoint(cfg, path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Design != string(fpcache.FootprintBanshee) {
+		t.Fatalf("design = %q", res.Design)
+	}
+	if res.Refs != uint64(cfg.Refs) {
+		t.Fatalf("replayed %d refs, want %d", res.Refs, cfg.Refs)
+	}
+}
+
+// TestTraceReplayRejectsGarbage surfaces decode errors instead of
+// silently simulating an empty trace.
+func TestTraceReplayRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, []byte("not a trace file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runFunctionalPoint(testConfig(), path, ""); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}

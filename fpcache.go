@@ -40,7 +40,13 @@ const (
 // Workloads returns all workload names in presentation order.
 func Workloads() []string { return synth.Names() }
 
-// DesignKind selects a DRAM cache organization.
+// DesignKind selects a DRAM cache organization: one of the paper's
+// canonical kinds below, or a composite policy spec — "+"-joined
+// component names drawn from the three policy axes (see Policies):
+// allocation granularity (page, subblock, footprint, ...), mapping
+// (pagedirect, blockrow, hybrid), and fill (lru, hotgate, banshee).
+// "footprint+banshee" is a Footprint Cache behind a frequency-gated
+// fill; "page+blockrow" is a page cache with block-style row spread.
 type DesignKind string
 
 // The designs compared in the paper.
@@ -70,9 +76,46 @@ const (
 	Ideal DesignKind = "ideal"
 )
 
+// Hybrid compositions the paper never evaluated, reachable since the
+// policy-composable engine. Any other composite spec is equally valid
+// as a DesignKind; these two are the showcased points.
+const (
+	// FootprintBanshee puts footprint-predicted allocation behind a
+	// Banshee-style frequency-gated fill: footprint traffic efficiency
+	// plus fill-bandwidth control.
+	FootprintBanshee DesignKind = "footprint+banshee"
+	// FootprintHybrid pairs footprint allocation with Gemini-style
+	// hybrid mapping: sparse pages spread block-style instead of
+	// pinning whole stacked rows.
+	FootprintHybrid DesignKind = "footprint+hybrid"
+)
+
 // Designs returns the kinds in the paper's comparison order.
 func Designs() []DesignKind {
 	return []DesignKind{Baseline, Block, Page, Subblock, Footprint, FootprintNoSingleton, FootprintUnion, HotPage, Ideal}
+}
+
+// HybridDesigns returns the showcased policy compositions beyond the
+// paper's fixed points.
+func HybridDesigns() []DesignKind {
+	return []DesignKind{FootprintBanshee, FootprintHybrid}
+}
+
+// PolicySet lists the engine's composable policy names per axis.
+type PolicySet struct {
+	Alloc   []string
+	Mapping []string
+	Fill    []string
+}
+
+// Policies returns the valid policy names for composite DesignKind
+// specs.
+func Policies() PolicySet {
+	return PolicySet{
+		Alloc:   system.AllocPolicies(),
+		Mapping: system.MappingPolicies(),
+		Fill:    system.FillPolicies(),
+	}
 }
 
 // DefaultScale is the capacity scale factor applied to paper-sized
@@ -192,11 +235,24 @@ func RunFunctional(c Config) (system.FunctionalResult, error) {
 	if c.Refs <= 0 {
 		return system.FunctionalResult{}, fmt.Errorf("fpcache: Config.Refs must be positive")
 	}
-	d, err := NewDesign(c)
+	src, _, err := NewTrace(c)
 	if err != nil {
 		return system.FunctionalResult{}, err
 	}
-	src, _, err := NewTrace(c)
+	return RunFunctionalSource(c, src)
+}
+
+// RunFunctionalSource executes a functional simulation over an
+// externally supplied record source — a recorded trace file
+// (memtrace.Reader), a tee, or any other Source — instead of the
+// workload generator. The Workload field only labels the run; warmup
+// and measured references are consumed from src.
+func RunFunctionalSource(c Config, src memtrace.Source) (system.FunctionalResult, error) {
+	c = c.withDefaults()
+	if c.Refs <= 0 {
+		return system.FunctionalResult{}, fmt.Errorf("fpcache: Config.Refs must be positive")
+	}
+	d, err := NewDesign(c)
 	if err != nil {
 		return system.FunctionalResult{}, err
 	}

@@ -162,8 +162,19 @@ func New(cfg Config) (*Cache, error) {
 	}, nil
 }
 
-// Name implements dcache.Design.
-func (c *Cache) Name() string { return "footprint" }
+// Name implements dcache.Design: the ablation variants carry their
+// own names (matching FootprintPolicy.Name) so reports can tell them
+// apart.
+func (c *Cache) Name() string {
+	switch {
+	case !c.cfg.SingletonOpt:
+		return "footprint-nosingleton"
+	case c.cfg.Feedback == FeedbackUnion:
+		return "footprint-union"
+	default:
+		return "footprint"
+	}
+}
 
 // Counters implements dcache.Design.
 func (c *Cache) Counters() dcache.Counters { return c.ctr }

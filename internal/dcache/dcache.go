@@ -171,6 +171,9 @@ func ValidateOps(ops []Op) error {
 // popcount returns the number of set bits.
 func popcount(v uint64) int { return bits.OnesCount64(v) }
 
+// trailingZeros returns the index of the lowest set bit.
+func trailingZeros(v uint64) int { return bits.TrailingZeros64(v) }
+
 // Baseline is the system without a DRAM cache: every L2 miss goes to
 // off-chip memory.
 type Baseline struct {

@@ -1,0 +1,273 @@
+package dcache
+
+import (
+	"fmt"
+
+	"fpcache/internal/memtrace"
+	"fpcache/internal/sram"
+)
+
+// Engine is the composed page-granularity DRAM cache: one generic
+// Design whose behaviour is the product of an allocation policy, a
+// mapping policy, and (optionally, via gate.go) a fill gate. The
+// paper's page-based, sub-blocked, and Footprint designs are fixed
+// policy combinations of this engine — proven byte-identical to the
+// monolithic reference implementations by the golden parity test in
+// internal/system — and hybrids like footprint+banshee compose from
+// the same parts.
+//
+// The access flow is the superset of the monoliths' flows (§2.3,
+// §3.1, §4.2-4.4): tag lookup; block hit served from the stacked
+// array; block miss on a resident page demand-fetched alone; page
+// miss consulted with the allocation policy (which may bypass),
+// then victim eviction with policy feedback and a single footprint
+// fetch.
+type Engine struct {
+	name      string
+	geom      PageGeometry
+	sets      int
+	bpp       int
+	tagCycles int
+	full      uint64
+	tags      *sram.SetAssoc[PageMeta]
+	alloc     AllocPolicy
+	mapping   MappingPolicy
+	ctr       Counters
+
+	// OnEvict, if set, observes eviction densities (Fig. 4).
+	OnEvict DensityObserver
+}
+
+// EngineConfig assembles an Engine.
+type EngineConfig struct {
+	// Name is the design name reported by Name(); canonical
+	// compositions use the paper design's name ("page", "footprint"),
+	// composites their spec string ("footprint+banshee").
+	Name      string
+	Geometry  PageGeometry
+	TagCycles int
+	Alloc     AllocPolicy
+	Mapping   MappingPolicy
+}
+
+// NewEngine builds the composed design.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	sets, bpp, err := cfg.Geometry.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Alloc == nil || cfg.Mapping == nil {
+		return nil, fmt.Errorf("dcache: engine %q needs both an allocation and a mapping policy", cfg.Name)
+	}
+	full := ^uint64(0)
+	if bpp < 64 {
+		full = (uint64(1) << bpp) - 1
+	}
+	return &Engine{
+		name:      cfg.Name,
+		geom:      cfg.Geometry,
+		sets:      sets,
+		bpp:       bpp,
+		tagCycles: cfg.TagCycles,
+		full:      full,
+		tags:      sram.NewSetAssoc[PageMeta](sets, cfg.Geometry.Ways),
+		alloc:     cfg.Alloc,
+		mapping:   cfg.Mapping,
+	}, nil
+}
+
+// Name implements Design.
+func (e *Engine) Name() string { return e.name }
+
+// Counters implements Design.
+func (e *Engine) Counters() Counters { return e.ctr }
+
+// Alloc exposes the allocation policy (the system layer extracts
+// predictor statistics through it).
+func (e *Engine) Alloc() AllocPolicy { return e.alloc }
+
+// Mapping exposes the mapping policy.
+func (e *Engine) Mapping() MappingPolicy { return e.mapping }
+
+// Geometry returns the engine's page geometry.
+func (e *Engine) Geometry() PageGeometry { return e.geom }
+
+// TagCycles returns the SRAM tag lookup latency.
+func (e *Engine) TagCycles() int { return e.tagCycles }
+
+// MetadataBits implements Design: the shared tag array (address tag,
+// page-valid bit, LRU) plus the allocation policy's per-page vectors
+// and tables — reproducing each paper design's Table 4 row.
+func (e *Engine) MetadataBits() int64 {
+	pages := e.geom.CapacityBytes / int64(e.geom.PageBytes)
+	per := int64(addressTagBits(e.geom.PageBytes, e.sets) + 1 + lruBits(e.geom.Ways) + e.alloc.MetaBitsPerPage(e.bpp))
+	return pages*per + e.alloc.TableBits(e.bpp)
+}
+
+// frame returns the frame index of a (set, way) pair.
+func (e *Engine) frame(set, way int) int64 {
+	return int64(set)*int64(e.geom.Ways) + int64(way)
+}
+
+// Resident reports whether the page holding addr is allocated,
+// without touching replacement state (fill gates consult it before
+// delegating).
+func (e *Engine) Resident(addr memtrace.Addr) bool {
+	pageIdx, _ := pageAddrOf(addr, e.geom.PageBytes)
+	set := int(pageIdx % uint64(e.sets))
+	return e.tags.Peek(set, pageIdx/uint64(e.sets)) != nil
+}
+
+// VictimFreq returns the residency access count of the page that an
+// allocation for addr would evict — zero when a free way exists.
+// Frequency-gated fills compare it against the candidate's count.
+func (e *Engine) VictimFreq(addr memtrace.Addr) uint32 {
+	pageIdx, _ := pageAddrOf(addr, e.geom.PageBytes)
+	set := int(pageIdx % uint64(e.sets))
+	v := e.tags.Victim(set)
+	if !v.Valid() {
+		return 0
+	}
+	return v.Value.Freq
+}
+
+// Access implements Design.
+func (e *Engine) Access(rec memtrace.Record, ops []Op) Outcome {
+	e.ctr.record(rec)
+	pageIdx, block := pageAddrOf(rec.Addr, e.geom.PageBytes)
+	set := int(pageIdx % uint64(e.sets))
+	tag := pageIdx / uint64(e.sets)
+	bit := uint64(1) << block
+
+	if ent := e.tags.Lookup(set, tag); ent != nil {
+		ent.Value.Freq++
+		frame := e.frame(set, ent.Way())
+		addr := e.mapping.BlockAddr(frame, block, ent.Value.Spread)
+		if ent.Value.Valid&bit != 0 {
+			// Block hit: serve from the stacked array.
+			e.ctr.Hits++
+			ent.Value.Demanded |= bit
+			if rec.Write {
+				ent.Value.Dirty |= bit
+			}
+			ops = append(ops[:0], Op{
+				Level: Stacked, Addr: addr, Bytes: 64,
+				Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
+			})
+			return Outcome{Hit: true, TagCycles: e.tagCycles, Ops: ops}
+		}
+		// Resident page, block absent (underprediction): demand-fetch
+		// the block alone; a write carries its own 64B block.
+		e.ctr.Misses++
+		e.alloc.OnBlockMiss(rec)
+		ent.Value.Valid |= bit
+		ent.Value.Demanded |= bit
+		if rec.Write {
+			ent.Value.Dirty |= bit
+			ops = append(ops[:0], Op{Level: Stacked, Addr: addr, Bytes: 64, Write: true, DependsOn: NoDep})
+			return Outcome{TagCycles: e.tagCycles, Ops: ops}
+		}
+		ops = append(ops[:0],
+			Op{Level: OffChip, Addr: rec.Addr, Bytes: 64, Critical: true, DependsOn: NoDep},
+			Op{Level: Stacked, Addr: addr, Bytes: 64, Write: true, DependsOn: 0},
+		)
+		return Outcome{TagCycles: e.tagCycles, Ops: ops}
+	}
+
+	// Triggering miss: ask the allocation policy what to fetch.
+	e.ctr.Misses++
+	dec := e.alloc.OnPageMiss(rec, pageIdx, block, e.full)
+	if dec.Bypass {
+		e.ctr.Bypasses++
+		ops = append(ops[:0], Op{
+			Level: OffChip, Addr: rec.Addr, Bytes: 64,
+			Write: rec.Write, Critical: criticality(rec.Write), DependsOn: NoDep,
+		})
+		return Outcome{Bypass: true, TagCycles: e.tagCycles, Ops: ops}
+	}
+
+	// Allocate: evict the victim (with policy feedback), then fetch
+	// the footprint in one shot.
+	ops = ops[:0]
+	victim := e.tags.Victim(set)
+	frame := e.frame(set, victim.Way())
+	if victim.Valid() {
+		ops = e.evict(set, victim, frame, ops)
+	}
+
+	footprint := dec.Footprint | bit
+	spread := e.mapping.Place(footprint)
+	ops = e.fetch(rec, pageIdx, block, frame, footprint, spread, ops)
+
+	meta := PageMeta{
+		Valid: footprint, Demanded: bit,
+		FHTPtr: dec.FHTPtr, Predicted: footprint,
+		Freq: 1, Spread: spread,
+	}
+	if rec.Write {
+		meta.Dirty = bit
+	}
+	e.tags.Insert(set, tag, meta)
+	e.ctr.PageAllocs++
+	return Outcome{TagCycles: e.tagCycles, Ops: ops}
+}
+
+// fetch emits the footprint transfer: the demanded block first
+// (critical, unless a writeback carries its own data), the remaining
+// predicted blocks streaming from the page's off-chip row, then the
+// fill into the stacked array — one span for packed frames, one op
+// per block for row-spread frames.
+func (e *Engine) fetch(rec memtrace.Record, pageIdx uint64, block int, frame int64, footprint uint64, spread bool, ops []Op) []Op {
+	n := popcount(footprint)
+	crit := NoDep
+	if !rec.Write {
+		crit = len(ops)
+		ops = append(ops, Op{Level: OffChip, Addr: rec.Addr, Bytes: 64, Critical: true, DependsOn: NoDep})
+	}
+	if n == 1 {
+		ops = append(ops, Op{Level: Stacked, Addr: e.mapping.BlockAddr(frame, block, spread), Bytes: 64, Write: true, DependsOn: crit})
+		return ops
+	}
+	rest := len(ops)
+	pageBase := memtrace.Addr(pageIdx * uint64(e.geom.PageBytes))
+	ops = append(ops, Op{Level: OffChip, Addr: pageBase, Bytes: (n - 1) * 64, DependsOn: crit})
+	if !spread {
+		ops = append(ops, Op{Level: Stacked, Addr: e.mapping.BlockAddr(frame, 0, false), Bytes: n * 64, Write: true, DependsOn: rest})
+		return ops
+	}
+	for rem := footprint; rem != 0; rem &= rem - 1 {
+		b := trailingZeros(rem)
+		ops = append(ops, Op{Level: Stacked, Addr: e.mapping.BlockAddr(frame, b, true), Bytes: 64, Write: true, DependsOn: rest})
+	}
+	return ops
+}
+
+// evict retires a victim page: density observation, allocation-policy
+// feedback (predictor accounting), and dirty writebacks — a packed
+// frame streams its dirty blocks in one span, a spread frame reads
+// them row by row.
+func (e *Engine) evict(set int, victim *sram.Entry[PageMeta], frame int64, ops []Op) []Op {
+	e.ctr.PageEvicts++
+	v := &victim.Value
+	if e.OnEvict != nil {
+		e.OnEvict(popcount(v.Demanded), e.bpp)
+	}
+	e.alloc.OnEvict(v)
+	if v.Dirty == 0 {
+		return ops
+	}
+	e.ctr.DirtyEvicts++
+	n := popcount(v.Dirty)
+	victimBase := memtrace.Addr(victim.Tag*uint64(e.sets)+uint64(set)) * memtrace.Addr(e.geom.PageBytes)
+	rd := len(ops)
+	if !v.Spread {
+		ops = append(ops, Op{Level: Stacked, Addr: e.mapping.BlockAddr(frame, 0, false), Bytes: n * 64, DependsOn: NoDep})
+	} else {
+		for rem := v.Dirty; rem != 0; rem &= rem - 1 {
+			b := trailingZeros(rem)
+			ops = append(ops, Op{Level: Stacked, Addr: e.mapping.BlockAddr(frame, b, true), Bytes: 64, DependsOn: NoDep})
+		}
+	}
+	ops = append(ops, Op{Level: OffChip, Addr: victimBase, Bytes: n * 64, Write: true, DependsOn: rd})
+	return ops
+}

@@ -61,6 +61,13 @@ type PageMeta struct {
 	// Predicted is the footprint the predictor chose at allocation
 	// (for accuracy accounting, Fig. 8).
 	Predicted uint64
+	// Freq counts accesses during this residency (frequency-gated fill
+	// policies compare it against allocation candidates).
+	Freq uint32
+	// Spread records the mapping placement chosen at allocation
+	// (engine.go): false = packed page-direct, true = block-style
+	// row-spread.
+	Spread bool
 }
 
 // DensityObserver receives the demanded-block count of every evicted

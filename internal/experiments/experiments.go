@@ -198,14 +198,17 @@ var registry = map[string]experiment{
 	"figure10": {Figure10, rowsOf(Figure10Rows)},
 	"figure11": {Figure11, rowsOf(Figure11Rows)},
 	"figure12": {Figure12, rowsOf(Figure12Rows)},
-	"table4":   {Table4, rowsOf(Table4Rows)},
-	"ablation": {Ablations, func(o Options) (any, error) { return AblationRows(o) }},
+	"table4":      {Table4, rowsOf(Table4Rows)},
+	"ablation":    {Ablations, func(o Options) (any, error) { return AblationRows(o) }},
+	"designspace": {DesignSpace, rowsOf(DesignSpaceRows)},
 }
 
-// order lists experiments in paper order for "run everything".
+// order lists experiments in paper order for "run everything"; the
+// design-space cross-product (not in the paper) runs last.
 var order = []string{
 	"figure1", "table4", "figure4", "figure5", "figure6", "figure7",
 	"figure8", "figure9", "figure10", "figure11", "figure12", "ablation",
+	"designspace",
 }
 
 // Names returns the experiment identifiers in paper order.

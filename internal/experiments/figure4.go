@@ -36,9 +36,9 @@ func Figure4Rows(o Options) ([]Figure4Row, error) {
 		if err != nil {
 			return Figure4Row{}, err
 		}
-		pc := design.(*dcache.PageCache)
+		eng := design.(*dcache.Engine)
 		h := stats.NewHistogram(1, 3, 7, 15, 31, 32)
-		pc.OnEvict = func(demanded, pageBlocks int) {
+		eng.OnEvict = func(demanded, pageBlocks int) {
 			if demanded > 0 {
 				h.Add(int64(demanded))
 			}

@@ -1,0 +1,129 @@
+package memtrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRoundTrip drives arbitrary records through the binary encoding:
+// whatever Writer emits, Reader must return verbatim.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x400123), uint64(0x7f001240), uint8(3), true, uint32(17))
+	f.Add(uint64(0), uint64(0), uint8(0), false, uint32(0))
+	f.Add(^uint64(0), ^uint64(0), uint8(255), true, ^uint32(0))
+	f.Fuzz(func(t *testing.T, pc, addr uint64, core uint8, write bool, gap uint32) {
+		recs := []Record{
+			{PC: PC(pc), Addr: Addr(addr), Core: core, Write: write, Gap: gap},
+			{PC: PC(addr), Addr: Addr(pc), Core: ^core, Write: !write, Gap: gap ^ 0x5555},
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		for i, want := range recs {
+			got, ok := r.Next()
+			if !ok {
+				t.Fatalf("record %d: stream ended early (err %v)", i, r.Err())
+			}
+			if got != want {
+				t.Fatalf("record %d: %+v round-tripped to %+v", i, want, got)
+			}
+		}
+		if _, ok := r.Next(); ok {
+			t.Fatal("phantom record after stream end")
+		}
+		if r.Err() != nil {
+			t.Fatalf("clean stream reported error: %v", r.Err())
+		}
+	})
+}
+
+// FuzzReaderRobust feeds arbitrary bytes to the decoder: it must never
+// panic, and any stream that does not start with a valid header must
+// surface an error rather than fabricate records.
+func FuzzReaderRobust(f *testing.F) {
+	valid := func(recs ...Record) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			_ = w.Write(r)
+		}
+		_ = w.Flush()
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is definitely not a trace"))
+	f.Add(valid())
+	f.Add(valid(Record{PC: 1, Addr: 2, Core: 3, Write: true, Gap: 4}))
+	// Truncated record tail.
+	f.Add(valid(Record{PC: 1, Addr: 2})[:8+10])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		n := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			n++
+		}
+		headerOK := len(data) >= 8 &&
+			binary.LittleEndian.Uint32(data[0:]) == magic &&
+			binary.LittleEndian.Uint16(data[4:]) == version
+		if !headerOK {
+			if n != 0 {
+				t.Fatalf("decoded %d records from a stream with no valid header", n)
+			}
+			if r.Err() == nil {
+				t.Fatal("invalid header accepted silently")
+			}
+			return
+		}
+		// Valid header: every whole 22-byte record decodes; a ragged
+		// tail must be reported as an error, a clean end must not.
+		body := len(data) - 8
+		if want := body / 22; n != want {
+			t.Fatalf("decoded %d records from %d body bytes, want %d", n, body, want)
+		}
+		if ragged := body%22 != 0; ragged && r.Err() == nil {
+			t.Fatal("truncated record accepted silently")
+		} else if !ragged && r.Err() != nil {
+			t.Fatalf("clean stream reported error: %v", r.Err())
+		}
+	})
+}
+
+// TestCorruptHeaderRejection pins the two header failure modes with
+// deterministic cases (the fuzz targets explore beyond them).
+func TestCorruptHeaderRejection(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{PC: 9, Addr: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] ^= 0xFF
+	r := NewReader(bytes.NewReader(badMagic))
+	if _, ok := r.Next(); ok || r.Err() == nil {
+		t.Fatalf("bad magic accepted (err %v)", r.Err())
+	}
+
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 0xEE
+	r = NewReader(bytes.NewReader(badVersion))
+	if _, ok := r.Next(); ok || r.Err() == nil {
+		t.Fatalf("bad version accepted (err %v)", r.Err())
+	}
+}

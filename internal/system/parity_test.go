@@ -1,0 +1,166 @@
+package system
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fpcache/internal/core"
+	"fpcache/internal/dcache"
+	"fpcache/internal/synth"
+)
+
+// The golden parity suite: every pre-refactor design, rebuilt here
+// exactly as the monolithic implementations assembled it, must
+// produce a byte-identical FunctionalResult to the policy-composed
+// engine that BuildDesign now returns. This is the proof obligation
+// of the composable-engine refactor — the monoliths stay in the tree
+// as executable reference specifications for this test.
+
+// buildMonolith replicates the pre-refactor BuildDesign wiring for a
+// kind (the monolithic constructors, with the same geometry, latency,
+// and table parameters the factory used before the engine existed).
+func buildMonolith(t *testing.T, kind string, paperMB int, scale float64) dcache.Design {
+	t.Helper()
+	spec := DesignSpec{Kind: kind, PaperCapacityMB: paperMB, Scale: scale}.withDefaults()
+	capBytes := spec.CapacityBytes()
+	lat := TagLatencyFor(kind, paperMB)
+	geom := dcache.PageGeometry{CapacityBytes: capBytes, PageBytes: spec.PageBytes, Ways: spec.Ways}
+	var (
+		d   dcache.Design
+		err error
+	)
+	switch kind {
+	case KindBaseline:
+		d = dcache.NewBaseline()
+	case KindIdeal:
+		d = dcache.NewIdeal()
+	case KindPage:
+		d, err = dcache.NewPageCache(dcache.PageCacheConfig{Geometry: geom, TagCycles: lat})
+	case KindSubblock:
+		d, err = dcache.NewSubblockCache(dcache.SubblockConfig{Geometry: geom, TagCycles: lat})
+	case KindBlock:
+		entries, ways, mmLat := dcache.MissMapParams(paperMB)
+		entries = int(float64(entries) * scale)
+		entries -= entries % ways
+		if entries < ways {
+			entries = ways
+		}
+		d, err = dcache.NewBlockCache(dcache.BlockCacheConfig{
+			CapacityBytes:  capBytes,
+			MissMapEntries: entries,
+			MissMapWays:    ways,
+			TagCycles:      mmLat,
+		})
+	case KindFootprint, KindFootprintNoSingleton, KindFootprintUnion:
+		fc := core.Default(capBytes)
+		fc.Geometry = geom
+		fc.TagCycles = lat
+		fc.FHTEntries = spec.FHTEntries
+		fc.SingletonOpt = kind != KindFootprintNoSingleton
+		if kind == KindFootprintUnion {
+			fc.Feedback = core.FeedbackUnion
+		}
+		d, err = core.New(fc)
+	case KindHotPage:
+		geom.PageBytes = 4096
+		d, err = dcache.NewHotPageCache(dcache.HotPageConfig{Geometry: geom, TagCycles: lat})
+	default:
+		t.Fatalf("no monolith for kind %q", kind)
+	}
+	if err != nil {
+		t.Fatalf("monolith %s: %v", kind, err)
+	}
+	return d
+}
+
+// parityTrace builds a fresh generator for a (workload, seed) pair;
+// each design run gets its own so state never leaks between runs.
+func parityTrace(t *testing.T, workload string, scale float64) *synth.Generator {
+	t.Helper()
+	prof, err := synth.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := synth.NewGenerator(prof, 7, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func TestGoldenParityAllDesigns(t *testing.T) {
+	const (
+		scale  = 1.0 / 64
+		warmup = 40_000
+		refs   = 40_000
+	)
+	kinds := []string{
+		KindBaseline, KindBlock, KindPage, KindSubblock,
+		KindFootprint, KindFootprintNoSingleton, KindFootprintUnion,
+		KindHotPage, KindIdeal,
+	}
+	workloads := []string{synth.WebSearch, synth.MapReduce}
+	for _, wl := range workloads {
+		for _, kind := range kinds {
+			for _, mb := range []int{64, 256} {
+				mono := buildMonolith(t, kind, mb, scale)
+				want := RunFunctional(mono, parityTrace(t, wl, scale), warmup, refs)
+
+				composed, err := BuildDesign(DesignSpec{Kind: kind, PaperCapacityMB: mb, Scale: scale})
+				if err != nil {
+					t.Fatalf("%s/%s/%dMB: BuildDesign: %v", wl, kind, mb, err)
+				}
+				got := RunFunctional(composed, parityTrace(t, wl, scale), warmup, refs)
+
+				wantJSON, err := json.Marshal(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotJSON, err := json.Marshal(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(wantJSON) != string(gotJSON) {
+					t.Errorf("%s/%s/%dMB: composed engine diverges from monolith\nmonolith: %s\ncomposed: %s",
+						wl, kind, mb, wantJSON, gotJSON)
+				}
+				if mono.MetadataBits() != composed.MetadataBits() {
+					t.Errorf("%s/%dMB: metadata budget diverges: monolith %d, composed %d",
+						kind, mb, mono.MetadataBits(), composed.MetadataBits())
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenParityDensityObserver pins the Figure 4 seam: the
+// engine's eviction-density observer fires with the same values as
+// the monolithic page cache's.
+func TestGoldenParityDensityObserver(t *testing.T) {
+	const scale = 1.0 / 64
+	collect := func(d dcache.Design, hook func(fn dcache.DensityObserver)) []int {
+		var out []int
+		hook(func(demanded, pageBlocks int) { out = append(out, demanded) })
+		RunFunctional(d, parityTrace(t, synth.MapReduce, scale), 0, 30_000)
+		return out
+	}
+	mono := buildMonolith(t, KindPage, 64, scale).(*dcache.PageCache)
+	want := collect(mono, func(fn dcache.DensityObserver) { mono.OnEvict = fn })
+	d, err := BuildDesign(DesignSpec{Kind: KindPage, PaperCapacityMB: 64, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := d.(*dcache.Engine)
+	got := collect(eng, func(fn dcache.DensityObserver) { eng.OnEvict = fn })
+	if len(want) == 0 {
+		t.Fatal("no evictions observed; trace too small for parity check")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("eviction counts diverge: monolith %d, engine %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("eviction %d density diverges: monolith %d, engine %d", i, want[i], got[i])
+		}
+	}
+}

@@ -38,6 +38,33 @@ func DRAMConfigsFor(designName string) (off, stk dram.Config) {
 	return off, stk
 }
 
+// DRAMConfigsForDesign returns the DRAM configurations for a built
+// design, following its actual policies rather than its name: a
+// composed engine whose mapping spreads pages block-style gets the
+// block design's close-page stacked policy (its stacked stream has no
+// row locality to keep open), whatever the composite is called.
+// Canonical designs resolve exactly as DRAMConfigsFor.
+func DRAMConfigsForDesign(d dcache.Design) (off, stk dram.Config) {
+	off, stk = DRAMConfigsFor(d.Name())
+	if eng := engineOf(d); eng != nil {
+		if _, spread := eng.Mapping().(dcache.BlockRowMapping); spread {
+			stk.Policy = dram.ClosePage
+		}
+	}
+	return off, stk
+}
+
+// engineOf unwraps a design to its composed engine, if any.
+func engineOf(d dcache.Design) *dcache.Engine {
+	switch v := d.(type) {
+	case *dcache.Engine:
+		return v
+	case interface{ Unwrap() dcache.Design }:
+		return engineOf(v.Unwrap())
+	}
+	return nil
+}
+
 // FunctionalResult summarizes a functional run. All counters exclude
 // the warmup prefix.
 type FunctionalResult struct {
@@ -80,7 +107,7 @@ func (r FunctionalResult) StackedEnergy() energy.Breakdown {
 // mirroring the paper's use of half of each trace for warmup (§5.4).
 // maxRefs <= 0 drains the source.
 func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int) FunctionalResult {
-	offCfg, stkCfg := DRAMConfigsFor(design.Name())
+	offCfg, stkCfg := DRAMConfigsForDesign(design)
 	offT := dram.NewTracker(offCfg)
 	stkT := dram.NewTracker(stkCfg)
 
@@ -112,10 +139,10 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 	}
 	ctr0 := design.Counters()
 	off0, stk0 := offT.Stats, stkT.Stats
+	extra := footprintExtra(design)
 	var fp0 core.Stats
-	fp, isFP := design.(*core.Cache)
-	if isFP {
-		fp0 = fp.Extra()
+	if extra != nil {
+		fp0 = extra()
 	}
 
 	res := FunctionalResult{Design: design.Name()}
@@ -124,11 +151,30 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 	res.Refs = res.Counters.Accesses()
 	res.OffChip = offT.Stats.Sub(off0)
 	res.Stacked = stkT.Stats.Sub(stk0)
-	if isFP {
-		s := fp.Extra().Sub(fp0)
+	if extra != nil {
+		s := extra().Sub(fp0)
 		res.Footprint = &s
 	}
 	return res
+}
+
+// footprintExtra locates the Footprint predictor statistics of a
+// design, whichever shape it takes: the monolithic reference cache, a
+// composed engine whose allocation policy is footprint-predicted, or
+// a fill-gated wrapper around one. Returns nil for designs without a
+// predictor.
+func footprintExtra(d dcache.Design) func() core.Stats {
+	switch v := d.(type) {
+	case *core.Cache:
+		return v.Extra
+	case *dcache.Engine:
+		if fp, ok := v.Alloc().(*core.FootprintPolicy); ok {
+			return fp.Extra
+		}
+	case interface{ Unwrap() dcache.Design }:
+		return footprintExtra(v.Unwrap())
+	}
+	return nil
 }
 
 // applyOps replays an outcome's operations on the functional

@@ -113,7 +113,7 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 	if cfg.L2Cycles <= 0 {
 		cfg.L2Cycles = 13
 	}
-	offCfg, stkCfg := DRAMConfigsFor(design.Name())
+	offCfg, stkCfg := DRAMConfigsForDesign(design)
 	if cfg.OffChip != nil {
 		offCfg = *cfg.OffChip
 	}
