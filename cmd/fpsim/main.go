@@ -276,6 +276,9 @@ func printTiming(w io.Writer, cfg fpcache.Config, res fpcache.TimingResult) {
 	fmt.Fprintf(w, "cycles:              %d\n", res.Cycles)
 	fmt.Fprintf(w, "aggregate IPC:       %.3f\n", res.AggIPC())
 	fmt.Fprintf(w, "avg read latency:    %.0f cycles\n", res.AvgReadLatency)
+	fmt.Fprintf(w, "read latency p50:    %.0f cycles\n", res.ReadLatencyP50)
+	fmt.Fprintf(w, "read latency p90:    %.0f cycles\n", res.ReadLatencyP90)
+	fmt.Fprintf(w, "read latency p99:    %.0f cycles\n", res.ReadLatencyP99)
 	fmt.Fprintf(w, "miss ratio:          %.2f%%\n", 100*res.Counters.MissRatio())
 	off := res.OffChipEnergyPerInstr()
 	stk := res.StackedEnergyPerInstr()

@@ -45,4 +45,5 @@ func main() {
 	}
 	fmt.Printf("  aggregate IPC:      %.2f (16-core pod)\n", timing.AggIPC())
 	fmt.Printf("  avg read latency:   %.0f cycles\n", timing.AvgReadLatency)
+	fmt.Printf("  read latency p99:   %.0f cycles\n", timing.ReadLatencyP99)
 }

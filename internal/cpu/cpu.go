@@ -9,6 +9,12 @@
 // operations complete; writes are posted L2 writebacks and do not
 // stall the core. The performance metric is the paper's (§5.4):
 // aggregate committed instructions over total cycles.
+//
+// Core is generic over a payload the trace source attaches to each
+// record (e.g. the functionally precomputed outcome in the timing
+// runner): the payload travels from pull to issue with its record, so
+// the association is structural rather than resting on call-ordering
+// side channels.
 package cpu
 
 import (
@@ -16,21 +22,26 @@ import (
 	"fpcache/internal/sim"
 )
 
-// IssueFn dispatches a memory request into the memory system; it must
-// eventually call done exactly once for reads (writes may complete
-// immediately).
-type IssueFn func(rec memtrace.Record, done func())
+// IssueFn dispatches a memory request into the memory system,
+// together with the payload its pull attached; it must eventually
+// call done exactly once for reads (writes may complete immediately).
+type IssueFn[P any] func(rec memtrace.Record, payload P, done func())
+
+// PullFn supplies a core's next trace record plus its payload.
+type PullFn[P any] func() (memtrace.Record, P, bool)
 
 // Core is one trace-driven core.
-type Core struct {
+type Core[P any] struct {
 	id  int
 	mlp int
 	eng *sim.Engine
 
-	pull  func() (memtrace.Record, bool)
-	issue IssueFn
+	pull  PullFn[P]
+	issue IssueFn[P]
 
-	pending     *memtrace.Record
+	hasPending  bool
+	pendRec     memtrace.Record
+	pendPayload P
 	readyAt     sim.Cycle
 	outstanding int
 	stalled     bool
@@ -50,31 +61,31 @@ type Core struct {
 
 // New builds a core. pull supplies the core's trace shard; issue
 // injects requests into the memory system.
-func New(id, mlp int, eng *sim.Engine, pull func() (memtrace.Record, bool), issue IssueFn) *Core {
+func New[P any](id, mlp int, eng *sim.Engine, pull PullFn[P], issue IssueFn[P]) *Core[P] {
 	if mlp < 1 {
 		mlp = 1
 	}
-	return &Core{id: id, mlp: mlp, eng: eng, pull: pull, issue: issue}
+	return &Core[P]{id: id, mlp: mlp, eng: eng, pull: pull, issue: issue}
 }
 
 // Start schedules the core's first issue. Call once.
-func (c *Core) Start() {
+func (c *Core[P]) Start() {
 	c.eng.Schedule(c.eng.Now(), c.step)
 }
 
 // Finished reports whether the core exhausted its trace.
-func (c *Core) Finished() bool { return c.finished }
+func (c *Core[P]) Finished() bool { return c.finished }
 
 // step advances the core: fetch the next record if needed, wait out
 // its compute gap, then issue when an MLP slot is free.
-func (c *Core) step() {
-	if c.pending == nil {
-		rec, ok := c.pull()
+func (c *Core[P]) step() {
+	if !c.hasPending {
+		rec, payload, ok := c.pull()
 		if !ok {
 			c.finished = true
 			return
 		}
-		c.pending = &rec
+		c.pendRec, c.pendPayload, c.hasPending = rec, payload, true
 		c.readyAt = c.eng.Now() + sim.Cycle(rec.Gap) // base IPC 1.0
 	}
 	now := c.eng.Now()
@@ -82,7 +93,7 @@ func (c *Core) step() {
 		c.eng.Schedule(c.readyAt, c.step)
 		return
 	}
-	if !c.pending.Write && c.outstanding >= c.mlp {
+	if !c.pendRec.Write && c.outstanding >= c.mlp {
 		// Window full: wait for a completion.
 		if !c.stalled {
 			c.stalled = true
@@ -90,23 +101,25 @@ func (c *Core) step() {
 		}
 		return
 	}
-	rec := *c.pending
-	c.pending = nil
+	rec, payload := c.pendRec, c.pendPayload
+	c.hasPending = false
+	var zero P
+	c.pendPayload = zero
 	c.Instructions += uint64(rec.Gap) + 1
 	c.LastIssue = now
 	if rec.Write {
 		// Posted writeback: consumes bandwidth, not an MLP slot.
-		c.issue(rec, func() {})
+		c.issue(rec, payload, func() {})
 	} else {
 		c.outstanding++
-		c.issue(rec, c.onComplete)
+		c.issue(rec, payload, c.onComplete)
 	}
 	// Pipeline: move straight to the next record's gap.
 	c.eng.Schedule(now, c.step)
 }
 
 // onComplete returns an MLP slot and unblocks a stalled core.
-func (c *Core) onComplete() {
+func (c *Core[P]) onComplete() {
 	c.outstanding--
 	if c.outstanding < 0 {
 		panic("cpu: negative outstanding count (done called twice?)")

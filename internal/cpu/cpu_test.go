@@ -7,16 +7,19 @@ import (
 	"fpcache/internal/sim"
 )
 
+// none is the empty payload the cpu tests thread through.
+type none = struct{}
+
 // fixedTrace returns a pull function over the given records.
-func fixedTrace(recs []memtrace.Record) func() (memtrace.Record, bool) {
+func fixedTrace(recs []memtrace.Record) PullFn[none] {
 	i := 0
-	return func() (memtrace.Record, bool) {
+	return func() (memtrace.Record, none, bool) {
 		if i >= len(recs) {
-			return memtrace.Record{}, false
+			return memtrace.Record{}, none{}, false
 		}
 		r := recs[i]
 		i++
-		return r, true
+		return r, none{}, true
 	}
 }
 
@@ -28,7 +31,7 @@ func TestCoreExecutesGapsAndIssues(t *testing.T) {
 	}
 	var issued []sim.Cycle
 	// Memory responds instantly.
-	issue := func(rec memtrace.Record, done func()) {
+	issue := func(rec memtrace.Record, _ none, done func()) {
 		issued = append(issued, eng.Now())
 		done()
 	}
@@ -57,7 +60,7 @@ func TestCoreMLPBoundsOutstandingReads(t *testing.T) {
 		recs = append(recs, memtrace.Record{Addr: memtrace.Addr(i * 64), Gap: 1})
 	}
 	outstanding, peak := 0, 0
-	issue := func(rec memtrace.Record, done func()) {
+	issue := func(rec memtrace.Record, _ none, done func()) {
 		outstanding++
 		if outstanding > peak {
 			peak = outstanding
@@ -89,7 +92,7 @@ func TestCoreWritesArePosted(t *testing.T) {
 		recs = append(recs, memtrace.Record{Addr: memtrace.Addr(i * 64), Gap: 1, Write: true})
 	}
 	issued := 0
-	issue := func(rec memtrace.Record, done func()) {
+	issue := func(rec memtrace.Record, _ none, done func()) {
 		issued++
 		// Never call done for writes beyond the immediate ack: the
 		// core shouldn't care.
@@ -108,7 +111,7 @@ func TestCoreWritesArePosted(t *testing.T) {
 
 func TestCoreMinimumMLP(t *testing.T) {
 	eng := &sim.Engine{}
-	c := New(0, 0, eng, fixedTrace(nil), func(memtrace.Record, func()) {})
+	c := New(0, 0, eng, fixedTrace(nil), func(memtrace.Record, none, func()) {})
 	if c.mlp != 1 {
 		t.Fatalf("mlp clamped to %d, want 1", c.mlp)
 	}
@@ -117,7 +120,7 @@ func TestCoreMinimumMLP(t *testing.T) {
 func TestCoreDoubleCompletionPanics(t *testing.T) {
 	eng := &sim.Engine{}
 	var doneFn func()
-	issue := func(rec memtrace.Record, done func()) { doneFn = done }
+	issue := func(rec memtrace.Record, _ none, done func()) { doneFn = done }
 	c := New(0, 2, eng, fixedTrace([]memtrace.Record{{Gap: 1}}), issue)
 	c.Start()
 	eng.Run(nil)

@@ -3,6 +3,7 @@ package dram
 import (
 	"fpcache/internal/memtrace"
 	"fpcache/internal/sim"
+	"fpcache/internal/stats"
 )
 
 // Request is one DRAM transaction submitted to a Controller. Bytes is
@@ -16,52 +17,175 @@ type Request struct {
 	Done  func(at sim.Cycle)
 
 	arrived sim.Cycle
+	seq     uint64
+	loc     Location
 }
 
-// Controller is the event-driven timing model of one DRAM subsystem.
-// Each channel has an in-order arrival queue scheduled FR-FCFS: ready
-// row hits bypass older row misses, which is the scheduling the paper
-// assumes for both DRAM instances.
+// CmdKind identifies a DRAM command reported through the Trace hook.
+type CmdKind uint8
+
+const (
+	CmdActivate CmdKind = iota
+	CmdPrecharge
+	CmdRead
+	CmdWrite
+	CmdRefresh
+)
+
+// String implements fmt.Stringer.
+func (k CmdKind) String() string {
+	switch k {
+	case CmdActivate:
+		return "ACT"
+	case CmdPrecharge:
+		return "PRE"
+	case CmdRead:
+		return "RD"
+	case CmdWrite:
+		return "WR"
+	case CmdRefresh:
+		return "REF"
+	default:
+		return "?"
+	}
+}
+
+// Cmd is one command-bus event: which command the controller issued,
+// where, and at what cycle. Commands are reported in scheduling order,
+// which is time-ordered per bank but may interleave across banks.
+type Cmd struct {
+	Kind    CmdKind
+	Channel int
+	Bank    int // -1 for all-bank refresh
+	Row     int64
+	At      sim.Cycle
+}
+
+// Controller is the command-level timing model of one DRAM subsystem.
+// Each channel keeps per-bank request queues scheduled FR-FCFS: ready
+// row hits bypass older row misses within a bank, and across banks
+// the candidate with the earliest column command (data slot) wins —
+// row hits breaking ties — so a stalled request on one bank never
+// blocks another bank (no head-of-line blocking) and a row conflict
+// never reserves the data bus ahead of a ready row hit.
+// Writes are posted into a per-channel write queue drained in bursts
+// between thresholds to amortize read/write bus turnaround, and each
+// channel performs periodic all-bank refresh (tREFI/tRFC).
 type Controller struct {
 	eng  *sim.Engine
 	cfg  Config
+	t    cpuTiming
 	chns []*channelState
+	seq  uint64
+
+	drainHigh, drainLow int
 
 	Stats Stats
 	// LatencySum / LatencyCount accumulate request latencies (arrival
 	// to completion) for average-latency reporting.
 	LatencySum   uint64
 	LatencyCount uint64
+	// ReadLatency is the distribution of read-request latencies
+	// (arrival to last data beat), in CPU cycles.
+	ReadLatency *stats.Histogram
+	// Trace, when non-nil, receives every committed DRAM command with
+	// its scheduled issue cycle — the observability hook the timing
+	// invariant tests (and debugging) hang off. Must be set before the
+	// first Submit.
+	Trace func(Cmd)
+}
+
+// cpuTiming is the Timing table pre-converted to CPU cycles, so the
+// scheduling hot path never repeats the float conversion.
+type cpuTiming struct {
+	cas, rcd, rp, ras, rc, wr, wtr, rtw, rtp, rrd, faw sim.Cycle
+	refi, rfc                                          sim.Cycle
 }
 
 type channelState struct {
-	banks      []bankState
-	busFreeAt  sim.Cycle
-	queue      []*Request
-	pumpArmed  bool
-	actTimes   [4]sim.Cycle // ring of last 4 activate times (tFAW)
-	actIdx     int
-	lastActAt  sim.Cycle // for tRRD
-	everActive bool
+	banks    []bankState
+	nReads   int
+	nWrites  int
+	draining bool
+
+	busUsed   bool
+	busWrite  bool
+	busFreeAt sim.Cycle
+
+	// Activate window: the issue times of the last four ACTs (for
+	// tFAW), the most recent ACT (for tRRD), and the total count —
+	// tFAW only constrains once four activates exist, so the ring's
+	// zero-initialized slots are never consulted.
+	actTimes  [4]sim.Cycle
+	actIdx    int
+	actCount  uint64
+	lastActAt sim.Cycle
+
+	refDueAt sim.Cycle
+
+	wakeArmed bool
+	wake      sim.Ticket
 }
 
 type bankState struct {
-	openRow  int64
-	readyAt  sim.Cycle // earliest next command issue
-	rasUntil sim.Cycle // activate + tRAS: earliest precharge
+	openRow int64
+	rq, wq  []*Request // per-bank read and write queues
+
+	actReadyAt sim.Cycle // earliest next ACT (tRC, tRP after PRE, refresh)
+	casReadyAt sim.Cycle // earliest CAS to the open row (ACT + tRCD)
+	preReadyAt sim.Cycle // earliest PRE (ACT+tRAS, read+tRTP, write end+tWR)
+
+	// prepClass marks a row opened ahead of its column command
+	// (prepAhead) with the access class the opening observed: the
+	// first column command to the row counts that class instead of a
+	// row hit. prepNone when no prep is outstanding.
+	prepClass uint8
 }
+
+// Access classes a prep-ahead observed; counted when the column
+// command commits, so a prep wasted by an intervening row change or
+// refresh costs only its (real) activate, never a double class count.
+const (
+	prepNone uint8 = iota
+	prepMiss
+	prepConflict
+)
 
 // NewController builds a timing model attached to the given engine.
 func NewController(eng *sim.Engine, cfg Config) *Controller {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Controller{eng: eng, cfg: cfg}
+	tm := cfg.Timing
+	c := &Controller{
+		eng: eng,
+		cfg: cfg,
+		t: cpuTiming{
+			cas: sim.Cycle(cfg.cpuCycles(tm.TCAS)),
+			rcd: sim.Cycle(cfg.cpuCycles(tm.TRCD)),
+			rp:  sim.Cycle(cfg.cpuCycles(tm.TRP)),
+			ras: sim.Cycle(cfg.cpuCycles(tm.TRAS)),
+			rc:  sim.Cycle(cfg.cpuCycles(tm.TRC)),
+			wr:  sim.Cycle(cfg.cpuCycles(tm.TWR)),
+			wtr: sim.Cycle(cfg.cpuCycles(tm.TWTR)),
+			rtw: sim.Cycle(cfg.cpuCycles(tm.TRTW)),
+			rtp: sim.Cycle(cfg.cpuCycles(tm.TRTP)),
+			rrd: sim.Cycle(cfg.cpuCycles(tm.TRRD)),
+			faw: sim.Cycle(cfg.cpuCycles(tm.TFAW)),
+		},
+		ReadLatency: stats.NewHistogram(stats.LatencyBounds()...),
+	}
+	if tm.TREFI > 0 && tm.TRFC > 0 {
+		c.t.refi = sim.Cycle(cfg.cpuCycles(tm.TREFI))
+		c.t.rfc = sim.Cycle(cfg.cpuCycles(tm.TRFC))
+	}
+	c.drainHigh, c.drainLow = cfg.writeThresholds()
 	for i := 0; i < cfg.Channels; i++ {
 		ch := &channelState{banks: make([]bankState, cfg.BanksPerChan)}
 		for b := range ch.banks {
 			ch.banks[b].openRow = -1
 		}
+		ch.refDueAt = c.t.refi
 		c.chns = append(c.chns, ch)
 	}
 	return c
@@ -70,12 +194,11 @@ func NewController(eng *sim.Engine, cfg Config) *Controller {
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
-// QueueDepth returns the number of requests waiting or in flight on
-// all channels.
+// QueueDepth returns the number of requests waiting on all channels.
 func (c *Controller) QueueDepth() int {
 	n := 0
 	for _, ch := range c.chns {
-		n += len(ch.queue)
+		n += ch.nReads + ch.nWrites
 	}
 	return n
 }
@@ -83,163 +206,420 @@ func (c *Controller) QueueDepth() int {
 // Submit enqueues a request. Done fires on completion.
 func (c *Controller) Submit(req *Request) {
 	req.arrived = c.eng.Now()
-	loc := c.cfg.Decode(req.Addr)
-	ch := c.chns[loc.Channel]
-	ch.queue = append(ch.queue, req)
-	c.pump(loc.Channel)
+	req.seq = c.seq
+	c.seq++
+	req.loc = c.cfg.Decode(req.Addr)
+	ch := c.chns[req.loc.Channel]
+	b := &ch.banks[req.loc.Bank]
+	if req.Write {
+		b.wq = append(b.wq, req)
+		ch.nWrites++
+	} else {
+		b.rq = append(b.rq, req)
+		ch.nReads++
+	}
+	c.pump(req.loc.Channel)
 }
 
-// pump tries to issue the next request on a channel; if nothing can
-// issue yet it arms a wakeup at the earliest time something could.
+// pump re-evaluates a channel's schedule after state changed (a new
+// arrival may issue earlier than the armed wakeup).
 func (c *Controller) pump(chIdx int) {
 	ch := c.chns[chIdx]
-	if ch.pumpArmed {
-		return
+	if ch.wakeArmed {
+		c.eng.Cancel(ch.wake)
+		ch.wakeArmed = false
 	}
-	c.issueReady(chIdx)
+	c.schedule(chIdx)
 }
 
-func (c *Controller) issueReady(chIdx int) {
+// sched is one candidate command sequence for a request: the cycles
+// its precharge / activate / column command would issue, the first of
+// which is the commit time.
+type sched struct {
+	req     *Request
+	bank    int
+	write   bool
+	rowHit  bool
+	needPre bool
+	needAct bool
+	pre     sim.Cycle
+	act     sim.Cycle
+	cas     sim.Cycle
+	start   sim.Cycle
+}
+
+// schedule drives a channel: it commits every command sequence that
+// can start now, interposes refresh when due, and otherwise arms a
+// wakeup at the earliest future start across all banks — the fix for
+// the old model's head-of-line blocking, which armed a single wakeup
+// for one picked request even when another bank could issue sooner.
+func (c *Controller) schedule(chIdx int) {
 	ch := c.chns[chIdx]
-	for len(ch.queue) > 0 {
+	for {
 		now := c.eng.Now()
-		pick := c.pickFRFCFS(ch)
-		req := ch.queue[pick]
-		start, ok := c.earliestStart(ch, req)
-		if !ok || start > now {
-			// Nothing issuable this cycle: wake up at the earliest
-			// possible issue time of the picked request.
-			if !ok {
-				start = now + 1
+		if c.t.refi > 0 && ch.refDueAt <= now {
+			c.refresh(chIdx, ch)
+			continue
+		}
+		best, serveWrites, ok := c.bestCandidate(ch, now)
+		if !ok {
+			return
+		}
+		if c.t.refi > 0 && best.start >= ch.refDueAt {
+			// The next command would issue past the refresh deadline:
+			// refresh first, then reschedule around the blocked banks.
+			c.refresh(chIdx, ch)
+			continue
+		}
+		if best.start > now {
+			// The winner waits (usually for the bus); losing banks
+			// whose row preparation can start now pipeline their
+			// PRE/ACT underneath the wait. A prep changes the
+			// candidate picture (the prepped bank is now a ready row
+			// hit), so re-arbitrate before arming the wakeup; each
+			// prep opens a row, so the loop makes bounded progress.
+			if c.prepAhead(chIdx, ch, now, serveWrites, best.bank) {
+				continue
 			}
-			ch.pumpArmed = true
-			c.eng.Schedule(start, func() {
-				ch.pumpArmed = false
-				c.issueReady(chIdx)
+			ch.wakeArmed = true
+			ch.wake = c.eng.Schedule(best.start, func() {
+				ch.wakeArmed = false
+				c.schedule(chIdx)
 			})
 			return
 		}
-		ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
-		c.execute(chIdx, req)
+		c.commit(chIdx, ch, best)
 	}
 }
 
-// pickFRFCFS returns the index of the request to issue next: the
-// oldest request whose row is already open, else the oldest request.
-func (c *Controller) pickFRFCFS(ch *channelState) int {
-	for i, r := range ch.queue {
-		loc := c.cfg.Decode(r.Addr)
-		if ch.banks[loc.Bank].openRow == loc.Row {
-			return i
+// bestCandidate scans the channel's bank queues for the command
+// sequence with the earliest column command. Reads are served by default;
+// writes drain in bursts once the write queue crosses the high
+// threshold (until it reaches the low one) or opportunistically when
+// no reads are pending, amortizing bus turnaround.
+func (c *Controller) bestCandidate(ch *channelState, now sim.Cycle) (sched, bool, bool) {
+	if ch.nWrites >= c.drainHigh {
+		ch.draining = true
+	} else if ch.nWrites <= c.drainLow {
+		ch.draining = false
+	}
+	serveWrites := ch.nWrites > 0 && (ch.draining || ch.nReads == 0)
+
+	var best sched
+	found := false
+	for bi := range ch.banks {
+		pick := bankPick(&ch.banks[bi], serveWrites)
+		if pick == nil {
+			continue
+		}
+		s := c.plan(ch, bi, pick, now)
+		// Arbitrate on the column-command (data-slot) time, not the
+		// first command: under bus contention every candidate's CAS
+		// collapses to the next free bus slot, and the row-hit
+		// tie-break then implements FR-FCFS — a row conflict whose
+		// precharge could start earlier must not reserve the bus ahead
+		// of a ready row hit.
+		if !found || s.cas < best.cas ||
+			(s.cas == best.cas && s.rowHit && !best.rowHit) ||
+			(s.cas == best.cas && s.rowHit == best.rowHit && s.req.seq < best.req.seq) {
+			best = s
+			found = true
 		}
 	}
-	return 0
+	return best, serveWrites, found
 }
 
-// earliestStart computes the earliest cycle the request's first
-// command could issue, honoring bank readiness and activate windows.
-func (c *Controller) earliestStart(ch *channelState, req *Request) (sim.Cycle, bool) {
-	loc := c.cfg.Decode(req.Addr)
-	b := &ch.banks[loc.Bank]
-	start := c.eng.Now()
-	if b.readyAt > start {
-		start = b.readyAt
+// bankPick returns a bank's FR-FCFS candidate from the served queue:
+// the oldest row hit, else the oldest request; nil with an empty
+// queue.
+func bankPick(b *bankState, serveWrites bool) *Request {
+	q := b.rq
+	if serveWrites {
+		q = b.wq
 	}
-	needsActivate := b.openRow != loc.Row
-	if needsActivate {
-		// tRRD from last activate on this channel.
-		if ch.everActive {
-			rrd := ch.lastActAt + sim.Cycle(c.cfg.cpuCycles(c.cfg.Timing.TRRD))
-			if rrd > start {
-				start = rrd
+	if len(q) == 0 {
+		return nil
+	}
+	pick := q[0]
+	if b.openRow >= 0 && pick.loc.Row != b.openRow {
+		for _, r := range q[1:] {
+			if r.loc.Row == b.openRow {
+				return r
 			}
-			// tFAW: four-activate window.
-			faw := ch.actTimes[ch.actIdx] + sim.Cycle(c.cfg.cpuCycles(c.cfg.Timing.TFAW))
-			if faw > start {
-				start = faw
-			}
-		}
-		if b.openRow >= 0 && b.rasUntil > start {
-			start = b.rasUntil // must satisfy tRAS before precharging
 		}
 	}
-	return start, true
+	return pick
 }
 
-// execute issues the request at its earliest start, updating bank and
-// bus state and scheduling completion.
-func (c *Controller) execute(chIdx int, req *Request) {
-	ch := c.chns[chIdx]
-	loc := c.cfg.Decode(req.Addr)
-	b := &ch.banks[loc.Bank]
-	start, _ := c.earliestStart(ch, req)
+// prepAhead pipelines row preparation under the arbitration winner's
+// wait: every losing bank whose candidate needs an activate that can
+// issue now gets its PRE/ACT committed immediately, so the row is
+// open (and the access class counted) by the time its column command
+// wins the bus. Without this, one bank's bus wait would idle every
+// other bank's row preparation. Reports whether anything was prepped.
+func (c *Controller) prepAhead(chIdx int, ch *channelState, now sim.Cycle, serveWrites bool, skipBank int) bool {
+	prepped := false
+	for bi := range ch.banks {
+		if bi == skipBank {
+			continue
+		}
+		b := &ch.banks[bi]
+		pick := bankPick(b, serveWrites)
+		if pick == nil {
+			continue
+		}
+		s := c.plan(ch, bi, pick, now)
+		if !s.needAct || s.start > now {
+			continue
+		}
+		if c.t.refi > 0 && s.act >= ch.refDueAt {
+			continue // do not open a row the imminent refresh would close
+		}
+		cls := uint8(prepMiss)
+		if s.needPre {
+			cls = prepConflict
+		}
+		c.openRowFor(chIdx, bi, ch, b, s, pick.loc.Row)
+		b.prepClass = cls
+		prepped = true
+	}
+	return prepped
+}
 
-	tm := c.cfg.Timing
-	var colReady sim.Cycle // when the first CAS can issue
+// openRowFor commits the PRE/ACT portion of a planned sequence: trace
+// events, activate-window bookkeeping, and bank-state updates. The
+// row-buffer access class is counted separately, when the column
+// command commits.
+func (c *Controller) openRowFor(chIdx, bankIdx int, ch *channelState, b *bankState, s sched, row int64) {
+	if s.needPre {
+		c.emit(Cmd{Kind: CmdPrecharge, Channel: chIdx, Bank: bankIdx, Row: b.openRow, At: s.pre})
+	}
+	c.Stats.Activates++
+	c.noteActivate(ch, s.act)
+	b.actReadyAt = s.act + c.t.rc
+	b.casReadyAt = s.act + c.t.rcd
+	b.preReadyAt = s.act + c.t.ras
+	b.openRow = row
+	c.emit(Cmd{Kind: CmdActivate, Channel: chIdx, Bank: bankIdx, Row: row, At: s.act})
+}
+
+// plan computes the earliest command sequence for a request on its
+// bank, honoring bank-state timing, the channel activate window
+// (tRRD, and tFAW only once four activates exist), row state, and the
+// data bus: the column command is timed so its data lands in a free
+// bus slot (plus the read<->write turnaround when the transfer
+// direction flips), which also paces row-hit streams at bus rate so a
+// due refresh can interpose.
+func (c *Controller) plan(ch *channelState, bankIdx int, req *Request, now sim.Cycle) sched {
+	b := &ch.banks[bankIdx]
+	s := sched{req: req, bank: bankIdx, write: req.Write}
+	// Earliest CAS whose data slot clears the bus. tWTR spaces the
+	// read *command* from the end of write data (JEDEC semantics);
+	// tRTW is the bus gap before write data follows read data.
+	casMin := sim.Cycle(0)
+	busAvail := ch.busFreeAt
+	if ch.busUsed && ch.busWrite != req.Write {
+		if req.Write {
+			busAvail += c.t.rtw
+		} else {
+			casMin = ch.busFreeAt + c.t.wtr
+		}
+	}
+	if busAvail > c.t.cas {
+		casMin = max(casMin, busAvail-c.t.cas)
+	}
 	switch {
-	case b.openRow == loc.Row:
-		c.Stats.RowHits++
-		colReady = start
+	case b.openRow == req.loc.Row:
+		s.rowHit = true
+		s.cas = max(max(now, b.casReadyAt), casMin)
+		s.start = s.cas
 	case b.openRow < 0:
-		c.Stats.RowMisses++
-		c.Stats.Activates++
-		c.noteActivate(ch, start)
-		b.rasUntil = start + sim.Cycle(c.cfg.cpuCycles(tm.TRAS))
-		colReady = start + sim.Cycle(c.cfg.cpuCycles(tm.TRCD))
+		s.needAct = true
+		s.act = max(max(now, b.actReadyAt), c.actWindowMin(ch))
+		s.cas = max(s.act+c.t.rcd, casMin)
+		s.start = s.act
 	default:
-		c.Stats.RowConflict++
-		c.Stats.Activates++
-		actAt := start + sim.Cycle(c.cfg.cpuCycles(tm.TRP))
-		c.noteActivate(ch, actAt)
-		b.rasUntil = actAt + sim.Cycle(c.cfg.cpuCycles(tm.TRAS))
-		colReady = actAt + sim.Cycle(c.cfg.cpuCycles(tm.TRCD))
+		s.needPre = true
+		s.needAct = true
+		s.pre = max(now, b.preReadyAt)
+		s.act = max(max(s.pre+c.t.rp, b.actReadyAt), c.actWindowMin(ch))
+		s.cas = max(s.act+c.t.rcd, casMin)
+		s.start = s.pre
 	}
-	b.openRow = loc.Row
+	return s
+}
+
+// actWindowMin returns the earliest cycle the channel may issue its
+// next ACT under tRRD and tFAW. The four-activate window only
+// constrains once at least four activates have been recorded — before
+// that the ring holds no real history.
+func (c *Controller) actWindowMin(ch *channelState) sim.Cycle {
+	if ch.actCount == 0 {
+		return 0
+	}
+	m := ch.lastActAt + c.t.rrd
+	if ch.actCount >= 4 {
+		if faw := ch.actTimes[ch.actIdx] + c.t.faw; faw > m {
+			m = faw
+		}
+	}
+	return m
+}
+
+// commit dequeues the request and executes its command sequence:
+// stats, bank and bus state updates, trace events, and completion.
+func (c *Controller) commit(chIdx int, ch *channelState, s sched) {
+	req := s.req
+	b := &ch.banks[s.bank]
+	if s.write {
+		b.wq = removeReq(b.wq, req)
+		ch.nWrites--
+	} else {
+		b.rq = removeReq(b.rq, req)
+		ch.nReads--
+	}
+
+	switch {
+	case s.rowHit:
+		// First column command to a prepped row counts the class its
+		// row opening observed; later ones are genuine row hits.
+		switch b.prepClass {
+		case prepMiss:
+			c.Stats.RowMisses++
+		case prepConflict:
+			c.Stats.RowConflict++
+		default:
+			c.Stats.RowHits++
+		}
+		b.prepClass = prepNone
+	case s.needPre:
+		c.Stats.RowConflict++
+	default:
+		c.Stats.RowMisses++
+	}
+	if s.needAct {
+		// Any prepped row is gone; only its (real) activate stands.
+		b.prepClass = prepNone
+		c.openRowFor(chIdx, s.bank, ch, b, s, req.loc.Row)
+	}
 
 	// Data transfer: CAS latency, then the bus streams the payload.
+	// plan already timed the CAS so the data slot clears the bus and
+	// any direction-switch turnaround.
 	bursts := (req.Bytes + 63) / 64
 	if bursts == 0 {
 		bursts = 1
 	}
-	dataStart := colReady + sim.Cycle(c.cfg.cpuCycles(tm.TCAS))
-	if ch.busFreeAt > dataStart {
-		dataStart = ch.busFreeAt
-	}
+	dataStart := s.cas + c.t.cas
 	dataEnd := dataStart + sim.Cycle(uint64(bursts)*c.cfg.BurstCPUCycles(64))
 	ch.busFreeAt = dataEnd
+	ch.busWrite = req.Write
+	ch.busUsed = true
 
 	if req.Write {
 		c.Stats.WriteBursts += uint64(bursts)
-		b.readyAt = dataEnd + sim.Cycle(c.cfg.cpuCycles(tm.TWR))
+		b.preReadyAt = max(b.preReadyAt, dataEnd+c.t.wr)
+		c.emit(Cmd{Kind: CmdWrite, Channel: chIdx, Bank: s.bank, Row: req.loc.Row, At: s.cas})
 	} else {
 		c.Stats.ReadBursts += uint64(bursts)
-		b.readyAt = dataEnd
+		// A streamed transfer is a sequence of column reads of the open
+		// row; tRTP binds from the *last* of them (whose data fills the
+		// final burst slot before dataEnd), so the row stays open until
+		// the payload has streamed — a precharge or refresh must not
+		// close it mid-transfer.
+		lastCas := dataEnd - sim.Cycle(c.cfg.BurstCPUCycles(64)) - c.t.cas
+		b.preReadyAt = max(b.preReadyAt, lastCas+c.t.rtp)
+		c.emit(Cmd{Kind: CmdRead, Channel: chIdx, Bank: s.bank, Row: req.loc.Row, At: s.cas})
+		c.ReadLatency.Add(int64(dataEnd - req.arrived))
 	}
 	if c.cfg.Policy == ClosePage {
-		// Auto-precharge after the access; the next access pays tRCD
-		// only. Precharge time folds into bank readiness.
-		closeAt := b.readyAt
-		if b.rasUntil > closeAt {
-			closeAt = b.rasUntil
-		}
-		b.readyAt = closeAt + sim.Cycle(c.cfg.cpuCycles(tm.TRP))
+		// Auto-precharge: the row closes once both the bank's precharge
+		// constraints and the streamed payload allow it; the next access
+		// pays tRP (folded into activate readiness) plus tRCD.
+		closeAt := max(b.preReadyAt, dataEnd)
+		b.actReadyAt = max(b.actReadyAt, closeAt+c.t.rp)
 		b.openRow = -1
+		c.emit(Cmd{Kind: CmdPrecharge, Channel: chIdx, Bank: s.bank, Row: req.loc.Row, At: closeAt})
 	}
 
-	done := req.Done
-	latency := uint64(dataEnd - req.arrived)
-	c.LatencySum += latency
+	c.LatencySum += uint64(dataEnd - req.arrived)
 	c.LatencyCount++
-	if done != nil {
+	if done := req.Done; done != nil {
 		c.eng.Schedule(dataEnd, func() { done(dataEnd) })
 	}
 }
 
+// refresh performs one all-bank refresh on the channel: open rows are
+// precharged, every bank is blocked for tRFC, and the next deadline
+// advances by tREFI.
+func (c *Controller) refresh(chIdx int, ch *channelState) {
+	start := ch.refDueAt
+	anyOpen := false
+	for i := range ch.banks {
+		b := &ch.banks[i]
+		if b.openRow >= 0 {
+			anyOpen = true
+			if b.preReadyAt > start {
+				start = b.preReadyAt
+			}
+		} else if b.actReadyAt > start {
+			// A bank mid-activate (or mid-refresh) delays the refresh
+			// until its row cycle completes.
+			start = b.actReadyAt
+		}
+	}
+	if anyOpen {
+		for i := range ch.banks {
+			if b := &ch.banks[i]; b.openRow >= 0 {
+				c.emit(Cmd{Kind: CmdPrecharge, Channel: chIdx, Bank: i, Row: b.openRow, At: start})
+			}
+		}
+		start += c.t.rp
+	}
+	refEnd := start + c.t.rfc
+	for i := range ch.banks {
+		b := &ch.banks[i]
+		b.openRow = -1
+		b.prepClass = prepNone // refresh closes prepped rows; their activates stand
+		if b.actReadyAt < refEnd {
+			b.actReadyAt = refEnd
+		}
+		if b.preReadyAt < refEnd {
+			b.preReadyAt = refEnd
+		}
+	}
+	ch.refDueAt += c.t.refi
+	c.Stats.Refreshes++
+	c.emit(Cmd{Kind: CmdRefresh, Channel: chIdx, Bank: -1, Row: -1, At: start})
+}
+
+// noteActivate records an ACT in the channel's activate window.
 func (c *Controller) noteActivate(ch *channelState, at sim.Cycle) {
 	ch.actTimes[ch.actIdx] = at
 	ch.actIdx = (ch.actIdx + 1) % len(ch.actTimes)
 	ch.lastActAt = at
-	ch.everActive = true
+	ch.actCount++
+}
+
+// emit reports a command through the Trace hook, if installed.
+func (c *Controller) emit(cmd Cmd) {
+	if c.Trace != nil {
+		c.Trace(cmd)
+	}
+}
+
+// removeReq removes one request (by identity) from a queue, keeping
+// order. The request is always present; queues are MLP-bounded and
+// short, so the linear scan is cheaper than bookkeeping indices.
+func removeReq(q []*Request, req *Request) []*Request {
+	for i, r := range q {
+		if r == req {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			return q[:len(q)-1]
+		}
+	}
+	panic("dram: request not in queue")
 }
 
 // AvgLatency returns the mean request latency in CPU cycles.

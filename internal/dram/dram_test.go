@@ -389,3 +389,70 @@ func TestControllerAvgLatencyPositive(t *testing.T) {
 		t.Fatalf("queue not drained: %d", c.QueueDepth())
 	}
 }
+
+func TestConfigValidateWriteDrain(t *testing.T) {
+	bad := OffChipDDR3_1600()
+	bad.WriteDrainHigh = 8
+	bad.WriteDrainLow = 16
+	if bad.Validate() == nil {
+		t.Fatal("low >= high accepted")
+	}
+	bad = OffChipDDR3_1600()
+	bad.WriteQueueDepth = 4
+	bad.WriteDrainHigh = 8
+	if bad.Validate() == nil {
+		t.Fatal("high > depth accepted")
+	}
+	// An explicit low contradicting the *defaulted* high (24) must be
+	// rejected too, not silently clamped.
+	bad = OffChipDDR3_1600()
+	bad.WriteDrainLow = 30
+	if bad.Validate() == nil {
+		t.Fatal("low above defaulted high accepted")
+	}
+	good := OffChipDDR3_1600()
+	good.WriteQueueDepth = 16
+	good.WriteDrainHigh = 12
+	good.WriteDrainLow = 4
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateRefreshInterval(t *testing.T) {
+	// tREFI <= tRFC + tRP would livelock the scheduler (refresh
+	// re-triggers before the banks unblock); Validate must reject it.
+	bad := OffChipDDR3_1600()
+	bad.Timing.TREFI = 100
+	bad.Timing.TRFC = 208
+	if bad.Validate() == nil {
+		t.Fatal("tREFI <= tRFC accepted")
+	}
+	bad = OffChipDDR3_1600()
+	bad.Timing.TREFI = 215 // tRFC 208 + tRP 11 > 215
+	if bad.Validate() == nil {
+		t.Fatal("tREFI <= tRFC + tRP accepted")
+	}
+	// Disabled refresh is exempt.
+	off := OffChipDDR3_1600()
+	off.Timing.TREFI = 0
+	off.Timing.TRFC = 208
+	if err := off.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteThresholdsTinyDepth(t *testing.T) {
+	// WriteQueueDepth 1 must not resolve to a zero high threshold
+	// (which would latch the channel into drain mode and invert read
+	// priority).
+	cfg := OffChipDDR3_1600()
+	cfg.WriteQueueDepth = 1
+	high, low := cfg.writeThresholds()
+	if high < 1 {
+		t.Fatalf("high = %d, want >= 1", high)
+	}
+	if low >= high {
+		t.Fatalf("low %d not below high %d", low, high)
+	}
+}

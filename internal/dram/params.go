@@ -1,6 +1,8 @@
 // Package dram models DRAM devices: DDR3 timing, bank and row-buffer
-// state, open- and close-page policies, FR-FCFS scheduling, address
-// interleaving across channels, and per-operation energy counters.
+// state, open- and close-page policies, command-level FR-FCFS
+// scheduling with per-bank queues, write-queue drain, bus turnaround
+// and periodic refresh, address interleaving across channels, and
+// per-operation energy counters.
 //
 // Two instances are used per simulated pod, mirroring the paper's
 // methodology (§5.4, two separately configured DRAMSim2 instances):
@@ -22,17 +24,28 @@ type Timing struct {
 	TRC  int // row cycle (activate to activate, same bank)
 	TWR  int // write recovery
 	TWTR int // write-to-read turnaround
+	TRTW int // read-to-write turnaround
 	TRTP int // read-to-precharge
 	TRRD int // activate-to-activate, different banks
 	TFAW int // four-activate window
+	// TREFI is the refresh interval and TRFC the refresh cycle time of
+	// an all-bank refresh. TREFI <= 0 or TRFC <= 0 disables refresh
+	// modeling (used by synthetic latency studies that halve or zero
+	// parts of the timing).
+	TREFI int
+	TRFC  int
 }
 
-// Table3Timing returns the timing parameters of the paper's Table 3.
+// Table3Timing returns the timing parameters of the paper's Table 3,
+// plus the standard DDR3 turnaround and refresh parameters the paper
+// leaves implicit (tRTW; tREFI = 7.8us and tRFC = 260ns at the
+// DDR3-1600 bus clock — both parts share the table's cycle counts).
 func Table3Timing() Timing {
 	return Timing{
 		TCAS: 11, TRCD: 11, TRP: 11, TRAS: 28,
-		TRC: 39, TWR: 12, TWTR: 6, TRTP: 6,
+		TRC: 39, TWR: 12, TWTR: 6, TRTW: 2, TRTP: 6,
 		TRRD: 5, TFAW: 24,
+		TREFI: 6240, TRFC: 208,
 	}
 }
 
@@ -73,6 +86,43 @@ type Config struct {
 	// InterleaveBytes is the channel-interleaving granularity: 64B for
 	// the block-based design, 2KB for page-based and Footprint (§5.2).
 	InterleaveBytes int
+	// WriteQueueDepth sizes the per-channel posted-write queue used to
+	// derive the drain thresholds; WriteDrainHigh starts a drain burst
+	// when that many writes are pending and WriteDrainLow ends it.
+	// Zero values take defaults (32 deep, drain between 24 and 8), so
+	// existing literal configs keep working.
+	WriteQueueDepth int
+	WriteDrainHigh  int
+	WriteDrainLow   int
+}
+
+// defaultWriteQueueDepth sizes the per-channel write queue when the
+// config leaves it zero.
+const defaultWriteQueueDepth = 32
+
+// writeThresholds resolves the write-drain configuration, applying
+// defaults for zero fields. It never reconciles contradictions —
+// Validate rejects any resolved combination where low >= high or high
+// exceeds the queue depth.
+func (c Config) writeThresholds() (high, low int) {
+	depth := c.WriteQueueDepth
+	if depth <= 0 {
+		depth = defaultWriteQueueDepth
+	}
+	high = c.WriteDrainHigh
+	if high <= 0 {
+		high = depth * 3 / 4
+	}
+	if high < 1 {
+		// A zero high threshold would latch the channel into drain
+		// mode and let any posted write preempt reads.
+		high = 1
+	}
+	low = c.WriteDrainLow
+	if low <= 0 {
+		low = depth / 4
+	}
+	return high, low
 }
 
 // Validate checks the configuration for internal consistency.
@@ -91,6 +141,30 @@ func (c Config) Validate() error {
 	}
 	if c.CPUPerBusCy <= 0 {
 		return fmt.Errorf("dram %s: CPU/bus clock ratio must be positive", c.Name)
+	}
+	if c.Timing.TREFI > 0 && c.Timing.TRFC > 0 && c.Timing.TREFI <= c.Timing.TRFC+c.Timing.TRP {
+		// A refresh (plus the precharge preceding it) longer than the
+		// refresh interval would re-trigger forever and livelock the
+		// scheduler: the channel never catches up.
+		return fmt.Errorf("dram %s: tREFI %d must exceed tRFC %d + tRP %d",
+			c.Name, c.Timing.TREFI, c.Timing.TRFC, c.Timing.TRP)
+	}
+	// Validate the write-drain thresholds as they will actually run —
+	// after default resolution — so an explicit setting contradicting
+	// a defaulted counterpart errors instead of silently rewriting the
+	// configured policy.
+	high, low := c.writeThresholds()
+	depth := c.WriteQueueDepth
+	if depth <= 0 {
+		depth = defaultWriteQueueDepth
+	}
+	if high > depth {
+		return fmt.Errorf("dram %s: write-drain high %d exceeds queue depth %d",
+			c.Name, high, depth)
+	}
+	if low >= high {
+		return fmt.Errorf("dram %s: write-drain low %d must be below high %d",
+			c.Name, low, high)
 	}
 	return nil
 }
@@ -161,6 +235,7 @@ type Stats struct {
 	RowHits     uint64
 	RowMisses   uint64 // closed-row activates
 	RowConflict uint64 // open-row conflicts (precharge first)
+	Refreshes   uint64 // all-bank refresh commands (timing model only)
 }
 
 // Accesses returns the total number of row-buffer access decisions.
@@ -186,6 +261,7 @@ func (s *Stats) Add(o Stats) {
 	s.RowHits += o.RowHits
 	s.RowMisses += o.RowMisses
 	s.RowConflict += o.RowConflict
+	s.Refreshes += o.Refreshes
 }
 
 // Sub returns s minus o, used to exclude warmup from measurements.
@@ -197,5 +273,6 @@ func (s Stats) Sub(o Stats) Stats {
 		RowHits:     s.RowHits - o.RowHits,
 		RowMisses:   s.RowMisses - o.RowMisses,
 		RowConflict: s.RowConflict - o.RowConflict,
+		Refreshes:   s.Refreshes - o.Refreshes,
 	}
 }

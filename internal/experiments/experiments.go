@@ -188,27 +188,29 @@ func rowsOf[T any](fn func(Options) ([]T, error)) RowsFunc {
 
 // registry maps experiment identifiers to drivers.
 var registry = map[string]experiment{
-	"figure1":  {Figure1, rowsOf(Figure1Rows)},
-	"figure4":  {Figure4, rowsOf(Figure4Rows)},
-	"figure5":  {Figure5, rowsOf(Figure5Rows)},
-	"figure6":  {Figure6, rowsOf(Figure6Rows)},
-	"figure7":  {Figure7, rowsOf(Figure7Rows)},
-	"figure8":  {Figure8, rowsOf(Figure8Rows)},
-	"figure9":  {Figure9, rowsOf(Figure9Rows)},
-	"figure10": {Figure10, rowsOf(Figure10Rows)},
-	"figure11": {Figure11, rowsOf(Figure11Rows)},
-	"figure12": {Figure12, rowsOf(Figure12Rows)},
+	"figure1":     {Figure1, rowsOf(Figure1Rows)},
+	"figure4":     {Figure4, rowsOf(Figure4Rows)},
+	"figure5":     {Figure5, rowsOf(Figure5Rows)},
+	"figure6":     {Figure6, rowsOf(Figure6Rows)},
+	"figure7":     {Figure7, rowsOf(Figure7Rows)},
+	"figure8":     {Figure8, rowsOf(Figure8Rows)},
+	"figure9":     {Figure9, rowsOf(Figure9Rows)},
+	"figure10":    {Figure10, rowsOf(Figure10Rows)},
+	"figure11":    {Figure11, rowsOf(Figure11Rows)},
+	"figure12":    {Figure12, rowsOf(Figure12Rows)},
 	"table4":      {Table4, rowsOf(Table4Rows)},
 	"ablation":    {Ablations, func(o Options) (any, error) { return AblationRows(o) }},
 	"designspace": {DesignSpace, rowsOf(DesignSpaceRows)},
+	"latency":     {Latency, rowsOf(LatencyRows)},
 }
 
 // order lists experiments in paper order for "run everything"; the
-// design-space cross-product (not in the paper) runs last.
+// design-space cross-product and the latency-distribution study (not
+// in the paper) run last.
 var order = []string{
 	"figure1", "table4", "figure4", "figure5", "figure6", "figure7",
 	"figure8", "figure9", "figure10", "figure11", "figure12", "ablation",
-	"designspace",
+	"designspace", "latency",
 }
 
 // Names returns the experiment identifiers in paper order.

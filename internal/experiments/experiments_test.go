@@ -281,3 +281,37 @@ func TestTimingExperimentsSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestLatencyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment in -short mode")
+	}
+	o := tiny()
+	o.Workloads = []string{synth.WebSearch}
+	o.Capacities = []int{64}
+	o.TimingRefs = 10_000
+	rows, err := LatencyRows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(latencyDesigns) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(latencyDesigns))
+	}
+	for _, r := range rows {
+		if r.P50 <= 0 || r.P50 > r.P90 || r.P90 > r.P99 {
+			t.Fatalf("%s/%s: percentiles implausible: p50=%.0f p90=%.0f p99=%.0f",
+				r.Workload, r.Design, r.P50, r.P90, r.P99)
+		}
+		if r.IPC <= 0 {
+			t.Fatalf("%s/%s: IPC = %g", r.Workload, r.Design, r.IPC)
+		}
+	}
+	// The registry serves it, and the renderer produces a table.
+	var buf bytes.Buffer
+	if err := Run("latency", o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "p99") {
+		t.Fatalf("latency table missing percentile columns:\n%s", buf.String())
+	}
+}

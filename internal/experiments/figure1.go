@@ -31,12 +31,23 @@ func highBWConfig(halfLatency bool) dram.Config {
 	cfg.Policy = dram.ClosePage
 	cfg.InterleaveBytes = 64
 	if halfLatency {
+		// Halve every per-operation latency; the refresh interval is
+		// cadence, not latency, so it stays put (tRFC halves with the
+		// rest).
 		t := cfg.Timing
-		cfg.Timing = dram.Timing{
-			TCAS: t.TCAS / 2, TRCD: t.TRCD / 2, TRP: t.TRP / 2, TRAS: t.TRAS / 2,
-			TRC: t.TRC / 2, TWR: t.TWR / 2, TWTR: t.TWTR / 2, TRTP: t.TRTP / 2,
-			TRRD: t.TRRD / 2, TFAW: t.TFAW / 2,
-		}
+		t.TCAS /= 2
+		t.TRCD /= 2
+		t.TRP /= 2
+		t.TRAS /= 2
+		t.TRC /= 2
+		t.TWR /= 2
+		t.TWTR /= 2
+		t.TRTW /= 2
+		t.TRTP /= 2
+		t.TRRD /= 2
+		t.TFAW /= 2
+		t.TRFC /= 2
+		cfg.Timing = t
 	}
 	return cfg
 }

@@ -115,6 +115,78 @@ func (h *Histogram) Add(x int64) {
 // Total returns the number of observations.
 func (h *Histogram) Total() int64 { return h.total }
 
+// Percentile returns the value below which fraction p (in [0, 1]) of
+// the observations fall, linearly interpolated within the containing
+// bucket. Observations in the overflow bucket are attributed to the
+// last bound, so a tail-heavy distribution saturates there rather than
+// inventing values the histogram never saw. Returns 0 with no
+// observations.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.total == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(h.total)
+	cum := 0.0
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.Bounds[i-1])
+			}
+			hi := float64(h.Bounds[i])
+			frac := (target - cum) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(h.Bounds[len(h.Bounds)-1])
+}
+
+// LatencyBounds returns the canonical bucket bounds for CPU-cycle
+// latency histograms: 8 bounds per octave from 8 cycles to ~1M
+// (~4.5% worst-case interpolation error). The DRAM controller's
+// request-level histogram and the timing runner's end-to-end one both
+// use it, so their percentiles stay comparable.
+func LatencyBounds() []int64 { return LogBounds(8, 1<<20, 8) }
+
+// LogBounds returns ascending histogram bounds covering [lo, hi] with
+// perOctave geometrically spaced bounds per doubling — the standard
+// shape for latency distributions, where relative (not absolute)
+// resolution matters.
+func LogBounds(lo, hi int64, perOctave int) []int64 {
+	if lo < 1 {
+		lo = 1
+	}
+	if perOctave < 1 {
+		perOctave = 1
+	}
+	ratio := math.Pow(2, 1/float64(perOctave))
+	var bounds []int64
+	x := float64(lo)
+	prev := int64(0)
+	for {
+		b := int64(math.Round(x))
+		if b > prev {
+			bounds = append(bounds, b)
+			prev = b
+		}
+		if b >= hi {
+			return bounds
+		}
+		x *= ratio
+	}
+}
+
 // Fraction returns the fraction of observations in bucket i.
 func (h *Histogram) Fraction(i int) float64 {
 	if h.total == 0 {

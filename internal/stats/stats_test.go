@@ -200,3 +200,77 @@ func TestPct(t *testing.T) {
 		t.Fatalf("Pct = %q", Pct(0.1234))
 	}
 }
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(10, 20, 40, 80)
+	if h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram percentile not 0")
+	}
+	// 100 observations uniform over (0, 10]: p50 interpolates to ~5.
+	for i := 0; i < 100; i++ {
+		h.Add(5)
+	}
+	if p := h.Percentile(0.5); math.Abs(p-5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 5", p)
+	}
+	if p := h.Percentile(1.0); math.Abs(p-10) > 1e-9 {
+		t.Fatalf("p100 = %g, want 10", p)
+	}
+	// Add 100 observations in (20, 40]: p75 lands mid second half.
+	for i := 0; i < 100; i++ {
+		h.Add(30)
+	}
+	if p := h.Percentile(0.75); p <= 20 || p > 40 {
+		t.Fatalf("p75 = %g, want in (20, 40]", p)
+	}
+	// Clamped inputs behave.
+	if h.Percentile(-1) != h.Percentile(0) || h.Percentile(2) != h.Percentile(1) {
+		t.Fatal("percentile inputs not clamped")
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	h := NewHistogram(LogBounds(16, 1<<20, 8)...)
+	for i := 1; i <= 5000; i++ {
+		h.Add(int64(i * 37 % 100000))
+	}
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotone: p=%.2f gives %g < %g", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramPercentileOverflowSaturates(t *testing.T) {
+	h := NewHistogram(10, 20)
+	for i := 0; i < 10; i++ {
+		h.Add(1000) // all overflow
+	}
+	if p := h.Percentile(0.99); p != 20 {
+		t.Fatalf("overflow p99 = %g, want last bound 20", p)
+	}
+}
+
+func TestLogBounds(t *testing.T) {
+	b := LogBounds(16, 1<<20, 8)
+	if b[0] != 16 {
+		t.Fatalf("first bound = %d", b[0])
+	}
+	if last := b[len(b)-1]; last < 1<<20 {
+		t.Fatalf("last bound %d does not cover 1<<20", last)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %d <= %d", i, b[i], b[i-1])
+		}
+	}
+	// Usable directly as histogram bounds.
+	NewHistogram(b...)
+	// Roughly 8 bounds per octave: 16 octaves -> ~128 bounds.
+	if len(b) < 100 || len(b) > 140 {
+		t.Fatalf("unexpected bound count %d", len(b))
+	}
+}

@@ -1,0 +1,121 @@
+package system
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fpcache/internal/dram"
+	"fpcache/internal/synth"
+)
+
+// TestSchedulingParityTimingMatchesFunctional is the scheduling-parity
+// regression for the command-level DRAM controller rework: functional
+// counters (cache hits/misses) and traffic (read/write bursts per DRAM
+// level) of a timing run must be byte-identical to a functional run
+// over the same trace. RunTiming performs design transitions in trace
+// order at demux drain time, so any controller scheduling change that
+// perturbed these counters would be a bug in that decoupling.
+func TestSchedulingParityTimingMatchesFunctional(t *testing.T) {
+	for _, kind := range []string{KindFootprint, KindPage, KindBlock} {
+		build := func() DesignSpec {
+			return DesignSpec{Kind: kind, PaperCapacityMB: 64, Scale: 1.0 / 16}
+		}
+		d1, err := BuildDesign(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fres := RunFunctional(d1, randomTrace(6000, 21, 8), 2000, 4000)
+
+		d2, err := BuildDesign(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tres := RunTiming(d2, randomTrace(6000, 21, 8),
+			TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 4000})
+
+		fj, _ := json.Marshal(fres.Counters)
+		tj, _ := json.Marshal(tres.Counters)
+		if string(fj) != string(tj) {
+			t.Fatalf("%s: counters diverge\nfunctional: %s\ntiming:     %s", kind, fj, tj)
+		}
+		if fres.OffChip.ReadBursts != tres.OffChip.ReadBursts ||
+			fres.OffChip.WriteBursts != tres.OffChip.WriteBursts {
+			t.Fatalf("%s: off-chip traffic diverges: functional %d/%d, timing %d/%d", kind,
+				fres.OffChip.ReadBursts, fres.OffChip.WriteBursts,
+				tres.OffChip.ReadBursts, tres.OffChip.WriteBursts)
+		}
+		if fres.Stacked.ReadBursts != tres.Stacked.ReadBursts ||
+			fres.Stacked.WriteBursts != tres.Stacked.WriteBursts {
+			t.Fatalf("%s: stacked traffic diverges: functional %d/%d, timing %d/%d", kind,
+				fres.Stacked.ReadBursts, fres.Stacked.WriteBursts,
+				tres.Stacked.ReadBursts, tres.Stacked.WriteBursts)
+		}
+	}
+}
+
+// TestSchedulingParityInvariantToControllerTiming: radically different
+// DRAM timing (and write-drain thresholds) must change cycles and
+// latency but leave functional counters and traffic untouched.
+func TestSchedulingParityInvariantToControllerTiming(t *testing.T) {
+	run := func(perturb bool) TimingResult {
+		d, err := BuildDesign(DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: 1.0 / 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 1000, MaxRefs: 4000}
+		if perturb {
+			stk := dram.StackedDDR3_3200()
+			stk.Timing.TCAS *= 3
+			stk.Timing.TRCD *= 3
+			stk.Timing.TRFC *= 2
+			stk.WriteQueueDepth = 4
+			off := dram.OffChipDDR3_1600()
+			off.Timing.TFAW *= 4
+			cfg.Stacked = &stk
+			cfg.OffChip = &off
+		}
+		return RunTiming(d, randomTrace(5000, 23, 8), cfg)
+	}
+	a, b := run(false), run(true)
+	if a.Cycles == b.Cycles {
+		t.Fatal("perturbed timing did not change cycle count — perturbation ineffective")
+	}
+	if a.Counters != b.Counters {
+		t.Fatalf("controller timing perturbed functional counters:\n%+v\n%+v", a.Counters, b.Counters)
+	}
+	for _, pair := range [][2]dram.Stats{{a.OffChip, b.OffChip}, {a.Stacked, b.Stacked}} {
+		if pair[0].ReadBursts != pair[1].ReadBursts || pair[0].WriteBursts != pair[1].WriteBursts {
+			t.Fatalf("controller timing perturbed traffic: %+v vs %+v", pair[0], pair[1])
+		}
+	}
+}
+
+// TestSchedulingParityOnSyntheticWorkload covers the calibrated
+// generator path (the one the paper figures run) for one workload.
+func TestSchedulingParityOnSyntheticWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic workload parity in -short mode")
+	}
+	trace := func() *synth.Generator {
+		prof, err := synth.ByName(synth.WebSearch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := synth.NewGenerator(prof, 1, 1.0/64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gen
+	}
+	d1, err := BuildDesign(DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: 1.0 / 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres := RunFunctional(d1, trace(), 10000, 20000)
+	d2, _ := BuildDesign(DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: 1.0 / 64})
+	tres := RunTiming(d2, trace(), TimingConfig{WarmupRefs: 10000, MaxRefs: 20000})
+	if fres.Counters != tres.Counters {
+		t.Fatalf("web-search counters diverge:\nfunctional: %+v\ntiming:     %+v",
+			fres.Counters, tres.Counters)
+	}
+}

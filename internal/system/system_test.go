@@ -248,3 +248,34 @@ func TestAllDesignsRunBothModes(t *testing.T) {
 		}
 	}
 }
+
+func TestRunTimingMaxRefsDefault(t *testing.T) {
+	// A zero MaxRefs takes the default bound instead of silently
+	// simulating zero references (the old behavior).
+	res := RunTiming(dcache.NewBaseline(), randomTrace(2000, 31, 4), TimingConfig{Cores: 4, MLP: 2})
+	if res.Refs != 2000 {
+		t.Fatalf("refs = %d, want the whole 2000-record trace", res.Refs)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("defaulted run did not advance")
+	}
+}
+
+func TestRunTimingLatencyDistribution(t *testing.T) {
+	res := RunTiming(dcache.NewBaseline(), randomTrace(3000, 33, 8),
+		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 3000})
+	if res.ReadLatency == nil || res.ReadLatency.Total() == 0 {
+		t.Fatal("read-latency histogram empty")
+	}
+	if res.ReadLatencyP50 <= 0 {
+		t.Fatalf("p50 = %g", res.ReadLatencyP50)
+	}
+	if res.ReadLatencyP50 > res.ReadLatencyP90 || res.ReadLatencyP90 > res.ReadLatencyP99 {
+		t.Fatalf("percentiles not ordered: p50=%g p90=%g p99=%g",
+			res.ReadLatencyP50, res.ReadLatencyP90, res.ReadLatencyP99)
+	}
+	// The mean must sit inside the distribution's span.
+	if res.AvgReadLatency <= 0 || res.AvgReadLatency > res.ReadLatencyP99*2 {
+		t.Fatalf("avg %g inconsistent with p99 %g", res.AvgReadLatency, res.ReadLatencyP99)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fpcache/internal/energy"
 	"fpcache/internal/memtrace"
 	"fpcache/internal/sim"
+	"fpcache/internal/stats"
 )
 
 // TimingConfig parametrizes an event-driven pod simulation.
@@ -21,7 +22,9 @@ type TimingConfig struct {
 	// before timed simulation starts, mirroring the paper's warmed
 	// checkpoints (§5.4).
 	WarmupRefs int
-	// MaxRefs bounds the timed trace length.
+	// MaxRefs bounds the timed trace length; 0 takes the default
+	// (250_000, matching experiments.Options.TimingRefs at its
+	// defaults) rather than simulating nothing.
 	MaxRefs int
 	// OffChip / Stacked override the per-design DRAM configs when
 	// non-nil (used by the Figure 1 opportunity study).
@@ -40,6 +43,14 @@ type TimingResult struct {
 	// AvgReadLatency is the mean latency of read records from issue
 	// to completion, in CPU cycles.
 	AvgReadLatency float64
+	// ReadLatency is the full read-record latency distribution (issue
+	// to completion, CPU cycles) behind the percentile fields.
+	ReadLatency *stats.Histogram `json:"-"`
+	// ReadLatencyP50/P90/P99 are percentiles of the read-record
+	// latency distribution, interpolated from ReadLatency.
+	ReadLatencyP50 float64
+	ReadLatencyP90 float64
+	ReadLatencyP99 float64
 	// StallCycles sums per-core full-window stalls.
 	StallCycles uint64
 }
@@ -65,28 +76,74 @@ func (r TimingResult) StackedEnergyPerInstr() energy.Breakdown {
 	return energy.Stacked().Of(r.Stacked).PerInstruction(r.Instructions)
 }
 
-// demux fans one interleaved trace out to per-core queues.
+// outcome is the payload attached to each timed record: its
+// functionally precomputed operation list (held in a pooled buffer)
+// and the SRAM tag lead time. It crosses the cpu.Core boundary
+// alongside the record, which the core already carries.
+type outcome struct {
+	ops       []dcache.Op
+	tagCycles int
+}
+
+// timedRec is one queued record with its outcome.
+type timedRec struct {
+	rec memtrace.Record
+	out outcome
+}
+
+// demux fans one interleaved trace out to per-core queues, performing
+// the design's functional access in trace order as records are
+// drained from the source. Pinning functional state transitions to
+// trace order — rather than the timing-dependent order in which cores
+// issue — makes hit/miss counters and traffic independent of
+// controller scheduling: a controller rework cannot perturb
+// functional results (the scheduling-parity regression test), and the
+// counters match RunFunctional byte for byte.
+//
+// The cost of the decoupling is that queued records pin their outcome
+// buffers: a trace whose records skew heavily toward one core makes
+// the other cores' pulls drain (and functionally evaluate) the
+// remainder of the trace up front, holding one ops buffer per queued
+// record. Synthetic workloads interleave cores evenly, so queues stay
+// shallow; a pathologically skewed replayed trace costs memory
+// proportional to the skew, never correctness.
 type demux struct {
 	src    memtrace.Source
-	queues [][]memtrace.Record
+	design dcache.Design
+	queues [][]timedRec
 	left   int
 	done   bool
+
+	// Timed outcomes outlive the next Access (their ops dispatch after
+	// the SRAM lead time and complete asynchronously), so each outcome
+	// is copied out of the scratch buffer into a pooled buffer,
+	// recycled when its last operation completes. The event loop is
+	// single-threaded, so the pool needs no locking.
+	scratch []dcache.Op
+	pool    [][]dcache.Op
 }
 
-func newDemux(src memtrace.Source, cores, maxRefs int) *demux {
-	return &demux{src: src, queues: make([][]memtrace.Record, cores), left: maxRefs}
+func newDemux(src memtrace.Source, design dcache.Design, cores, maxRefs int, scratch []dcache.Op) *demux {
+	return &demux{
+		src:     src,
+		design:  design,
+		queues:  make([][]timedRec, cores),
+		left:    maxRefs,
+		scratch: scratch,
+	}
 }
 
-// pull returns the next record for the given core.
-func (d *demux) pull(core int) (memtrace.Record, bool) {
+// pull returns the next record (with its precomputed outcome) for the
+// given core.
+func (d *demux) pull(core int) (timedRec, bool) {
 	for {
 		if q := d.queues[core]; len(q) > 0 {
-			rec := q[0]
+			tr := q[0]
 			d.queues[core] = q[1:]
-			return rec, true
+			return tr, true
 		}
 		if d.done || d.left <= 0 {
-			return memtrace.Record{}, false
+			return timedRec{}, false
 		}
 		rec, ok := d.src.Next()
 		if !ok {
@@ -94,15 +151,43 @@ func (d *demux) pull(core int) (memtrace.Record, bool) {
 			continue
 		}
 		d.left--
+		res := d.design.Access(rec, d.scratch)
+		d.scratch = res.Ops
+		ops := d.getOps(len(res.Ops))
+		copy(ops, res.Ops)
 		c := int(rec.Core) % len(d.queues)
-		d.queues[c] = append(d.queues[c], rec)
+		d.queues[c] = append(d.queues[c], timedRec{rec: rec, out: outcome{ops: ops, tagCycles: res.TagCycles}})
 	}
+}
+
+// getOps takes a buffer of length n from the pool, or allocates one.
+func (d *demux) getOps(n int) []dcache.Op {
+	if k := len(d.pool); k > 0 {
+		buf := d.pool[k-1]
+		d.pool[k-1] = nil
+		d.pool = d.pool[:k-1]
+		if cap(buf) < n {
+			buf = make([]dcache.Op, n)
+		}
+		return buf[:n]
+	}
+	return make([]dcache.Op, n)
+}
+
+// putOps returns a buffer to the pool.
+func (d *demux) putOps(buf []dcache.Op) {
+	d.pool = append(d.pool, buf)
 }
 
 // RunTiming executes an event-driven simulation of the pod: cores
 // with bounded MLP issue records through the design into the two DRAM
 // controllers; critical operations gate request completion while
-// fills and evictions consume bandwidth in the background.
+// fills and evictions consume bandwidth in the background. The
+// design's functional transitions happen in trace order (at demux
+// drain time), so hit/miss counters and traffic are identical to a
+// RunFunctional over the same trace and invariant under controller
+// scheduling changes; timing only decides *when* the resulting DRAM
+// operations happen.
 func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) TimingResult {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 16
@@ -112,6 +197,9 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 	}
 	if cfg.L2Cycles <= 0 {
 		cfg.L2Cycles = 13
+	}
+	if cfg.MaxRefs <= 0 {
+		cfg.MaxRefs = 250_000
 	}
 	offCfg, stkCfg := DRAMConfigsForDesign(design)
 	if cfg.OffChip != nil {
@@ -137,60 +225,45 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 	eng := &sim.Engine{}
 	offC := dram.NewController(eng, offCfg)
 	stkC := dram.NewController(eng, stkCfg)
-	dm := newDemux(src, cfg.Cores, cfg.MaxRefs)
+	dm := newDemux(src, design, cfg.Cores, cfg.MaxRefs, scratch)
 
-	res := TimingResult{Design: design.Name()}
+	res := TimingResult{
+		Design:      design.Name(),
+		ReadLatency: stats.NewHistogram(stats.LatencyBounds()...),
+	}
 	var readLatSum, readLatN uint64
 
-	// Timed references outlive the next Access (their ops dispatch
-	// after the SRAM lead time and complete asynchronously), so each
-	// outcome is copied out of the scratch buffer into a pooled
-	// buffer, recycled when its last operation completes. The event
-	// loop is single-threaded, so the pool needs no locking.
-	var opsPool [][]dcache.Op
-	getOps := func(n int) []dcache.Op {
-		if k := len(opsPool); k > 0 {
-			buf := opsPool[k-1]
-			opsPool[k-1] = nil
-			opsPool = opsPool[:k-1]
-			if cap(buf) < n {
-				buf = make([]dcache.Op, n)
-			}
-			return buf[:n]
-		}
-		return make([]dcache.Op, n)
-	}
-	putOps := func(buf []dcache.Op) {
-		opsPool = append(opsPool, buf)
-	}
-
-	issue := func(rec memtrace.Record, done func()) {
+	// The precomputed outcome travels from pull to issue as the core's
+	// record payload, so the record/ops association is structural.
+	issue := func(rec memtrace.Record, out outcome, done func()) {
 		res.Refs++
-		out := design.Access(rec, scratch)
-		scratch = out.Ops
-		ops := getOps(len(out.Ops))
-		copy(ops, out.Ops)
 		issuedAt := eng.Now()
 		notify := done
 		if !rec.Write {
 			notify = func() {
-				readLatSum += uint64(eng.Now() - issuedAt)
+				lat := uint64(eng.Now() - issuedAt)
+				readLatSum += lat
 				readLatN++
+				res.ReadLatency.Add(int64(lat))
 				done()
 			}
 		}
 		// SRAM latencies (L2 probe + cache metadata) precede DRAM
 		// operations.
-		lead := sim.Cycle(cfg.L2Cycles + out.TagCycles)
+		lead := sim.Cycle(cfg.L2Cycles + out.tagCycles)
 		eng.After(lead, func() {
-			dispatchOps(eng, ops, offC, stkC, notify, putOps)
+			dispatchOps(eng, out.ops, offC, stkC, notify, dm.putOps)
 		})
 	}
 
-	cores := make([]*cpu.Core, cfg.Cores)
+	cores := make([]*cpu.Core[outcome], cfg.Cores)
 	for i := range cores {
 		id := i
-		cores[i] = cpu.New(id, cfg.MLP, eng, func() (memtrace.Record, bool) { return dm.pull(id) }, issue)
+		pull := func() (memtrace.Record, outcome, bool) {
+			tr, ok := dm.pull(id)
+			return tr.rec, tr.out, ok
+		}
+		cores[i] = cpu.New(id, cfg.MLP, eng, pull, issue)
 		cores[i].Start()
 	}
 
@@ -206,6 +279,9 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 	res.Stacked = stkC.Stats
 	if readLatN > 0 {
 		res.AvgReadLatency = float64(readLatSum) / float64(readLatN)
+		res.ReadLatencyP50 = res.ReadLatency.Percentile(0.50)
+		res.ReadLatencyP90 = res.ReadLatency.Percentile(0.90)
+		res.ReadLatencyP99 = res.ReadLatency.Percentile(0.99)
 	}
 	return res
 }
