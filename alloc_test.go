@@ -16,10 +16,12 @@ import (
 
 // allocBudgetKinds is every design the zero-allocation budget covers:
 // the paper's canonical kinds plus policy compositions exercising
-// every engine axis (gated fills, row-spread and hybrid mappings).
+// every engine axis (gated fills, row-spread and hybrid mappings, and
+// partitioned stacked capacity with its consistent-hash indexing).
 func allocBudgetKinds() []DesignKind {
 	kinds := append(Designs(), HybridDesigns()...)
-	return append(kinds, "page+blockrow", "subblock+hybrid+hotgate", "page+banshee")
+	return append(kinds, "page+blockrow", "subblock+hybrid+hotgate", "page+banshee",
+		"footprint+memcache:50", "page+memlow:25", "footprint+banshee+memcache:25")
 }
 
 // allTestableDesigns returns every covered design kind at a small

@@ -12,11 +12,10 @@
 // Simulation points fan out over a worker pool (internal/sweep);
 // results are gathered in declaration order, so output is
 // byte-identical regardless of -j. Each experiment prints the same
-// rows/series the paper reports; EXPERIMENTS.md records a reference
-// run with paper-vs-measured commentary. With -json, typed rows and
-// per-experiment wall-clock are written to the given file instead of
-// rendering text tables — the seed of the BENCH_*.json perf
-// trajectory.
+// rows/series the paper reports; DESIGN.md §4 indexes them. With
+// -json, typed rows and per-experiment wall-clock are written to the
+// given file instead of rendering text tables — the seed of the
+// BENCH_*.json perf trajectory.
 package main
 
 import (

@@ -21,6 +21,7 @@
 //	fpsim -design page,footprint+banshee -capacity 64,256 -j 4
 //	fpsim -design footprint -trace-out run.trace
 //	fpsim -design footprint+hybrid -trace-in run.trace
+//	fpsim -design footprint+memcache:50 -resize 0.25,0.75 -resize-every 250000
 //	fpsim -list
 package main
 
@@ -49,6 +50,8 @@ func main() {
 		warmup   = flag.Int("warmup", 0, "warmup references (default: same as -refs)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		mode     = flag.String("mode", "functional", "simulation mode: functional or timing")
+		resize   = flag.String("resize", "", "comma-separated memory fractions cycled by the partition resize driver (partitioned designs, e.g. 0.25,0.75)")
+		resizeN  = flag.Int("resize-every", 0, "resize cadence in measured references (requires -resize)")
 		workers  = flag.Int("j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
 		traceOut = flag.String("trace-out", "", "record the reference stream to this trace file (functional mode, single point)")
 		traceIn  = flag.String("trace-in", "", "replay a recorded trace file instead of the generator (functional mode)")
@@ -69,6 +72,18 @@ func main() {
 	}
 	if *traceOut != "" && *traceIn != "" {
 		fail(fmt.Errorf("-trace-out and -trace-in are mutually exclusive"))
+	}
+
+	var fractions []float64
+	for _, f := range splitList(*resize) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v < 0 || v > 1 {
+			fail(fmt.Errorf("bad -resize fraction %q (want 0..1)", f))
+		}
+		fractions = append(fractions, v)
+	}
+	if (len(fractions) > 0) != (*resizeN > 0) {
+		fail(fmt.Errorf("-resize and -resize-every must be set together"))
 	}
 
 	workloads := splitList(*workload)
@@ -113,13 +128,15 @@ func main() {
 	reports, err := sweep.Map(*workers, len(pts), func(i int) (string, error) {
 		p := pts[i]
 		cfg := fpcache.Config{
-			Workload:        p.workload,
-			Design:          fpcache.DesignKind(p.design),
-			PaperCapacityMB: p.capMB,
-			Scale:           *scale,
-			Refs:            *refs,
-			WarmupRefs:      *warmup,
-			Seed:            *seed,
+			Workload:         p.workload,
+			Design:           fpcache.DesignKind(p.design),
+			PaperCapacityMB:  p.capMB,
+			Scale:            *scale,
+			Refs:             *refs,
+			WarmupRefs:       *warmup,
+			Seed:             *seed,
+			ResizePeriodRefs: *resizeN,
+			ResizeFractions:  fractions,
 		}
 		var buf bytes.Buffer
 		if *mode == "functional" {
@@ -235,9 +252,10 @@ func printLists(w io.Writer) {
 	}
 	p := fpcache.Policies()
 	fmt.Fprintln(w, "policies (compose with '+', e.g. footprint+banshee):")
-	fmt.Fprintf(w, "  alloc:   %s\n", strings.Join(p.Alloc, " "))
-	fmt.Fprintf(w, "  mapping: %s\n", strings.Join(p.Mapping, " "))
-	fmt.Fprintf(w, "  fill:    %s\n", strings.Join(p.Fill, " "))
+	fmt.Fprintf(w, "  alloc:     %s\n", strings.Join(p.Alloc, " "))
+	fmt.Fprintf(w, "  mapping:   %s\n", strings.Join(p.Mapping, " "))
+	fmt.Fprintf(w, "  fill:      %s\n", strings.Join(p.Fill, " "))
+	fmt.Fprintf(w, "  partition: %s (with a memory share, e.g. memcache:50)\n", strings.Join(p.Partition, " "))
 }
 
 func splitList(s string) []string {
@@ -266,6 +284,22 @@ func printFunctional(w io.Writer, cfg fpcache.Config, res fpcache.FunctionalResu
 		fmt.Fprintf(w, "underpred misses:    %d\n", fp.UnderpredMisses)
 		fmt.Fprintf(w, "singleton bypasses:  %d (corrections %d)\n", fp.SingletonBypasses, fp.STCorrections)
 	}
+	printPartition(w, res.Partition)
+}
+
+// printPartition reports the stacked split and resize activity of a
+// partitioned design; nil (unpartitioned) prints nothing.
+func printPartition(w io.Writer, p *fpcache.PartitionStats) {
+	if p == nil {
+		return
+	}
+	total := p.MemPages + p.CachePages
+	fmt.Fprintf(w, "stacked split:       %d/%d pages memory (%.0f%%)\n", p.MemPages, total, 100*float64(p.MemPages)/float64(total))
+	fmt.Fprintf(w, "memory-region hits:  %d\n", p.MemHits)
+	if p.Resizes > 0 {
+		fmt.Fprintf(w, "resizes:             %d (flushed %d clean + %d dirty, purged %d, moved %d, displaced %d)\n",
+			p.Resizes, p.FlushedClean, p.FlushedDirty, p.PurgedPages, p.MovedPages, p.DisplacedPages)
+	}
 }
 
 func printTiming(w io.Writer, cfg fpcache.Config, res fpcache.TimingResult) {
@@ -284,6 +318,7 @@ func printTiming(w io.Writer, cfg fpcache.Config, res fpcache.TimingResult) {
 	stk := res.StackedEnergyPerInstr()
 	fmt.Fprintf(w, "off-chip energy/ins: %.1f pJ (act %.1f + burst %.1f)\n", off.TotalPJ(), off.ActPrePJ, off.BurstPJ)
 	fmt.Fprintf(w, "stacked energy/ins:  %.1f pJ (act %.1f + burst %.1f)\n", stk.TotalPJ(), stk.ActPrePJ, stk.BurstPJ)
+	printPartition(w, res.Partition)
 }
 
 func fail(err error) {

@@ -1,0 +1,105 @@
+package fpcache
+
+// Docs hygiene checks, run as part of the ordinary test suite and
+// called out explicitly by the CI docs step: every internal package
+// must carry a package comment, and every Go code block in README.md
+// must actually build against the module — documentation that
+// bit-rots fails the build instead of misleading the next reader.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackageComments walks every package under internal/ (and
+// the root package) and fails unless some file carries a package
+// comment — the one-paragraph contract godoc shows.
+func TestInternalPackageComments(t *testing.T) {
+	dirs := map[string]bool{".": true}
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && path != "internal" {
+			dirs[path] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package comment", name, dir)
+			}
+		}
+	}
+}
+
+// goBlock matches fenced Go code blocks in markdown.
+var goBlock = regexp.MustCompile("(?s)```go\n(.*?)```")
+
+// TestREADMESnippetsBuild extracts every fenced Go block from
+// README.md and builds it against this module, so quickstart code can
+// never drift from the API. Blocks without a package clause are
+// skipped (there are none today, but partial snippets stay
+// representable).
+func TestREADMESnippetsBuild(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	src, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := goBlock.FindAllStringSubmatch(string(src), -1)
+	if len(blocks) == 0 {
+		t.Fatal("README.md contains no Go code blocks; the quickstart should have at least one")
+	}
+	for i, m := range blocks {
+		snippet := m[1]
+		if !strings.Contains(snippet, "package ") {
+			continue
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(snippet), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		gomod := "module readmesnippet\n\ngo 1.24\n\nrequire fpcache v0.0.0\n\nreplace fpcache => " + repo + "\n"
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("go", "build", "./...")
+		cmd.Dir = dir
+		// Snippet builds must not touch the network or rewrite go.mod.
+		cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GOPROXY=off")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("README snippet %d does not build:\n%s\n--- snippet ---\n%s", i+1, out, snippet)
+		}
+	}
+}

@@ -42,11 +42,15 @@ func Workloads() []string { return synth.Names() }
 
 // DesignKind selects a DRAM cache organization: one of the paper's
 // canonical kinds below, or a composite policy spec — "+"-joined
-// component names drawn from the three policy axes (see Policies):
+// component names drawn from the policy axes (see Policies):
 // allocation granularity (page, subblock, footprint, ...), mapping
-// (pagedirect, blockrow, hybrid), and fill (lru, hotgate, banshee).
+// (pagedirect, blockrow, hybrid), fill (lru, hotgate, banshee), and
+// stacked-capacity partition (memcache:<pct>, memlow:<pct>).
 // "footprint+banshee" is a Footprint Cache behind a frequency-gated
-// fill; "page+blockrow" is a page cache with block-style row spread.
+// fill; "page+blockrow" is a page cache with block-style row spread;
+// "footprint+memcache:50" dedicates half the stacked capacity to
+// directly addressed memory and runs the Footprint engine on the
+// rest, resizable at run time (Config.ResizeFractions).
 type DesignKind string
 
 // The designs compared in the paper.
@@ -106,15 +110,20 @@ type PolicySet struct {
 	Alloc   []string
 	Mapping []string
 	Fill    []string
+	// Partition policies split the stacked capacity between directly
+	// addressed memory and the cache engine; spec components carry
+	// the memory share as a percentage ("memcache:50").
+	Partition []string
 }
 
 // Policies returns the valid policy names for composite DesignKind
 // specs.
 func Policies() PolicySet {
 	return PolicySet{
-		Alloc:   system.AllocPolicies(),
-		Mapping: system.MappingPolicies(),
-		Fill:    system.FillPolicies(),
+		Alloc:     system.AllocPolicies(),
+		Mapping:   system.MappingPolicies(),
+		Fill:      system.FillPolicies(),
+		Partition: system.PartitionPolicies(),
 	}
 }
 
@@ -125,11 +134,13 @@ func Policies() PolicySet {
 // (§6.5, §7).
 const DefaultScale = 1.0 / 16
 
-// FunctionalResult and TimingResult alias the simulation result
-// types so facade callers never import internal packages.
+// FunctionalResult, TimingResult, and PartitionStats alias the
+// simulation result types so facade callers never import internal
+// packages.
 type (
 	FunctionalResult = system.FunctionalResult
 	TimingResult     = system.TimingResult
+	PartitionStats   = dcache.PartitionStats
 )
 
 // Config describes one simulation.
@@ -157,6 +168,22 @@ type Config struct {
 	WarmupRefs int
 	// Cores overrides the 16-core pod.
 	Cores int
+	// ResizePeriodRefs / ResizeFractions schedule run-time partition
+	// resizes for partitioned designs ("footprint+memcache:50"):
+	// every ResizePeriodRefs measured references the stacked split
+	// moves to the next memory fraction in ResizeFractions (cycled).
+	// Ignored unless both are set and the design partitions its
+	// capacity.
+	ResizePeriodRefs int
+	ResizeFractions  []float64
+}
+
+// resizePlan returns the configured resize schedule, nil when unset.
+func (c Config) resizePlan() *system.ResizePlan {
+	if c.ResizePeriodRefs <= 0 || len(c.ResizeFractions) == 0 {
+		return nil
+	}
+	return &system.ResizePlan{PeriodRefs: c.ResizePeriodRefs, Fractions: c.ResizeFractions}
 }
 
 func (c Config) withDefaults() Config {
@@ -256,7 +283,7 @@ func RunFunctionalSource(c Config, src memtrace.Source) (system.FunctionalResult
 	if err != nil {
 		return system.FunctionalResult{}, err
 	}
-	return system.RunFunctional(d, src, c.WarmupRefs, c.Refs), nil
+	return system.RunFunctionalResized(d, src, c.WarmupRefs, c.Refs, c.resizePlan()), nil
 }
 
 // RunTiming executes an event-driven timing simulation.
@@ -278,5 +305,6 @@ func RunTiming(c Config) (system.TimingResult, error) {
 		MLP:        prof.MLP,
 		WarmupRefs: c.WarmupRefs,
 		MaxRefs:    c.Refs,
+		Resize:     c.resizePlan(),
 	}), nil
 }

@@ -58,6 +58,21 @@ func (p FeedbackPolicy) String() string {
 	return "replace"
 }
 
+// VariantName returns the design name a configuration reports — the
+// ablation variants carry their own names so specs and reports can
+// tell them apart. Cache.Name and FootprintPolicy.Name both defer
+// here so the monolith and the composed policy can never drift.
+func (c Config) VariantName() string {
+	switch {
+	case !c.SingletonOpt:
+		return "footprint-nosingleton"
+	case c.Feedback == FeedbackUnion:
+		return "footprint-union"
+	default:
+		return "footprint"
+	}
+}
+
 // Default returns the paper's configuration for a given capacity:
 // 2KB pages, 16-way tag array, 16K-entry FHT, 512-entry ST, singleton
 // optimization on.
@@ -162,19 +177,8 @@ func New(cfg Config) (*Cache, error) {
 	}, nil
 }
 
-// Name implements dcache.Design: the ablation variants carry their
-// own names (matching FootprintPolicy.Name) so reports can tell them
-// apart.
-func (c *Cache) Name() string {
-	switch {
-	case !c.cfg.SingletonOpt:
-		return "footprint-nosingleton"
-	case c.cfg.Feedback == FeedbackUnion:
-		return "footprint-union"
-	default:
-		return "footprint"
-	}
-}
+// Name implements dcache.Design.
+func (c *Cache) Name() string { return c.cfg.VariantName() }
 
 // Counters implements dcache.Design.
 func (c *Cache) Counters() dcache.Counters { return c.ctr }

@@ -35,18 +35,8 @@ func NewFootprintPolicy(cfg Config) (*FootprintPolicy, error) {
 	return &FootprintPolicy{cfg: cfg, fht: fht, st: st}, nil
 }
 
-// Name implements dcache.AllocPolicy: the ablation variants carry
-// their own names so specs and reports can tell them apart.
-func (p *FootprintPolicy) Name() string {
-	switch {
-	case !p.cfg.SingletonOpt:
-		return "footprint-nosingleton"
-	case p.cfg.Feedback == FeedbackUnion:
-		return "footprint-union"
-	default:
-		return "footprint"
-	}
-}
+// Name implements dcache.AllocPolicy.
+func (p *FootprintPolicy) Name() string { return p.cfg.VariantName() }
 
 // Extra returns the Footprint-specific statistics.
 func (p *FootprintPolicy) Extra() Stats { return p.extra }

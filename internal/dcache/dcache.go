@@ -123,6 +123,22 @@ func (c Counters) HitRatio() float64 {
 	return float64(c.Hits) / float64(t)
 }
 
+// Add returns c plus o, used by wrapper designs that split accounting
+// across two paths (the partition wrapper counts its memory-region
+// accesses itself and delegates the rest to the cache engine).
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Reads:       c.Reads + o.Reads,
+		Writes:      c.Writes + o.Writes,
+		Hits:        c.Hits + o.Hits,
+		Misses:      c.Misses + o.Misses,
+		Bypasses:    c.Bypasses + o.Bypasses,
+		PageAllocs:  c.PageAllocs + o.PageAllocs,
+		PageEvicts:  c.PageEvicts + o.PageEvicts,
+		DirtyEvicts: c.DirtyEvicts + o.DirtyEvicts,
+	}
+}
+
 // Sub returns c minus o, used to exclude warmup from measurements.
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{

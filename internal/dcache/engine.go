@@ -34,6 +34,18 @@ type Engine struct {
 	mapping   MappingPolicy
 	ctr       Counters
 
+	// consistent selects jump-consistent-hash set indexing instead of
+	// modulo indexing. Consistent engines store the full page index as
+	// the tag (the set is not arithmetically recoverable) and may run
+	// with fewer live sets than the tag array holds — the mechanism
+	// behind run-time partition resizing (partition.go): growing or
+	// shrinking liveSets relocates only the proportional slice of
+	// pages, never the whole tag space.
+	consistent bool
+	// liveSets is the currently indexable prefix of the set array;
+	// always equal to sets for modulo engines.
+	liveSets int
+
 	// OnEvict, if set, observes eviction densities (Fig. 4).
 	OnEvict DensityObserver
 }
@@ -48,6 +60,11 @@ type EngineConfig struct {
 	TagCycles int
 	Alloc     AllocPolicy
 	Mapping   MappingPolicy
+	// Consistent selects jump-consistent-hash set indexing, making the
+	// engine resizable at run time (ResizeSets). Partitioned stacked
+	// designs require it; fixed-capacity designs keep the cheaper
+	// modulo indexing.
+	Consistent bool
 }
 
 // NewEngine builds the composed design.
@@ -64,16 +81,52 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		full = (uint64(1) << bpp) - 1
 	}
 	return &Engine{
-		name:      cfg.Name,
-		geom:      cfg.Geometry,
-		sets:      sets,
-		bpp:       bpp,
-		tagCycles: cfg.TagCycles,
-		full:      full,
-		tags:      sram.NewSetAssoc[PageMeta](sets, cfg.Geometry.Ways),
-		alloc:     cfg.Alloc,
-		mapping:   cfg.Mapping,
+		name:       cfg.Name,
+		geom:       cfg.Geometry,
+		sets:       sets,
+		bpp:        bpp,
+		tagCycles:  cfg.TagCycles,
+		full:       full,
+		tags:       sram.NewSetAssoc[PageMeta](sets, cfg.Geometry.Ways),
+		alloc:      cfg.Alloc,
+		mapping:    cfg.Mapping,
+		consistent: cfg.Consistent,
+		liveSets:   sets,
 	}, nil
+}
+
+// locate maps a page index onto the tag array: jump-consistent hash
+// over the live sets (full page index as tag) for consistent engines,
+// modulo indexing (tag = pageIdx / sets) otherwise.
+func (e *Engine) locate(pageIdx uint64) (set int, tag uint64) {
+	if e.consistent {
+		return jumpHash(pageIdx, e.liveSets), pageIdx
+	}
+	return int(pageIdx % uint64(e.sets)), pageIdx / uint64(e.sets)
+}
+
+// pageIdxOf inverts locate: the page index a (tag, set) pair stands
+// for.
+func (e *Engine) pageIdxOf(tag uint64, set int) uint64 {
+	if e.consistent {
+		return tag
+	}
+	return tag*uint64(e.sets) + uint64(set)
+}
+
+// jumpHash is Lamping–Veach jump consistent hashing: a uniform
+// key→bucket map with the resize property the partition subsystem
+// leans on — growing from n to m buckets moves only keys whose new
+// bucket is in [n, m), and every key it moves lands in a new bucket;
+// shrinking is the exact inverse. No state, no allocation, O(ln n).
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
 }
 
 // Name implements Design.
@@ -114,8 +167,8 @@ func (e *Engine) frame(set, way int) int64 {
 // delegating).
 func (e *Engine) Resident(addr memtrace.Addr) bool {
 	pageIdx, _ := pageAddrOf(addr, e.geom.PageBytes)
-	set := int(pageIdx % uint64(e.sets))
-	return e.tags.Peek(set, pageIdx/uint64(e.sets)) != nil
+	set, tag := e.locate(pageIdx)
+	return e.tags.Peek(set, tag) != nil
 }
 
 // VictimFreq returns the residency access count of the page that an
@@ -123,7 +176,7 @@ func (e *Engine) Resident(addr memtrace.Addr) bool {
 // Frequency-gated fills compare it against the candidate's count.
 func (e *Engine) VictimFreq(addr memtrace.Addr) uint32 {
 	pageIdx, _ := pageAddrOf(addr, e.geom.PageBytes)
-	set := int(pageIdx % uint64(e.sets))
+	set, _ := e.locate(pageIdx)
 	v := e.tags.Victim(set)
 	if !v.Valid() {
 		return 0
@@ -135,8 +188,7 @@ func (e *Engine) VictimFreq(addr memtrace.Addr) uint32 {
 func (e *Engine) Access(rec memtrace.Record, ops []Op) Outcome {
 	e.ctr.record(rec)
 	pageIdx, block := pageAddrOf(rec.Addr, e.geom.PageBytes)
-	set := int(pageIdx % uint64(e.sets))
-	tag := pageIdx / uint64(e.sets)
+	set, tag := e.locate(pageIdx)
 	bit := uint64(1) << block
 
 	if ent := e.tags.Lookup(set, tag); ent != nil {
@@ -212,6 +264,127 @@ func (e *Engine) Access(rec memtrace.Record, ops []Op) Outcome {
 	return Outcome{TagCycles: e.tagCycles, Ops: ops}
 }
 
+// LiveSets returns the number of currently indexable sets.
+func (e *Engine) LiveSets() int { return e.liveSets }
+
+// Consistent reports whether the engine uses resizable
+// consistent-hash set indexing.
+func (e *Engine) Consistent() bool { return e.consistent }
+
+// ResizeDelta summarizes what one ResizeSets call did.
+type ResizeDelta struct {
+	// FlushedClean / FlushedDirty count pages flushed out of dying
+	// sets on a shrink (dirty ones emitted a writeback).
+	FlushedClean, FlushedDirty int
+	// Moved counts pages re-homed into newly live sets on a grow.
+	Moved int
+	// Displaced counts resident pages evicted because a moved page
+	// overflowed its destination set.
+	Displaced int
+}
+
+// ResizeSets changes the live set count of a consistent-hash engine
+// at run time, appending the transition's DRAM operations to ops.
+//
+// Shrink (newSets < live): every page in a dying set is flushed —
+// clean pages are invalidated, dirty pages emit their writeback
+// (through the normal eviction path, so predictor feedback and
+// eviction counters stay truthful). Jump-hash monotonicity guarantees
+// pages in surviving sets keep their set, so only the proportional
+// slice of sets is touched.
+//
+// Grow (newSets > live): the tag array is scanned and every page
+// whose hash now lands in a new set is moved there — valid blocks
+// migrate frame-to-frame inside the stacked array (one read + one
+// write span for packed pages, per-block pairs for spread ones). By
+// the same monotonicity, movers only ever land in new sets; a
+// destination overflow evicts its victim through the normal path.
+//
+// Modulo engines and out-of-range sizes are a no-op. The partition
+// invariant test (partition_test.go) pins that no stale hit survives
+// a shrink and every dirty page is written back exactly once.
+func (e *Engine) ResizeSets(newSets int, ops []Op) ([]Op, ResizeDelta) {
+	var d ResizeDelta
+	if !e.consistent || newSets < 1 || newSets > e.sets || newSets == e.liveSets {
+		return ops, d
+	}
+	if newSets < e.liveSets {
+		for s := newSets; s < e.liveSets; s++ {
+			for w := 0; w < e.geom.Ways; w++ {
+				ent := e.tags.Slot(s, w)
+				if ent == nil || !ent.Valid() {
+					continue
+				}
+				if ent.Value.Dirty != 0 {
+					d.FlushedDirty++
+				} else {
+					d.FlushedClean++
+				}
+				ops = e.evict(s, ent, e.frame(s, w), ops)
+				e.tags.Invalidate(s, ent.Tag)
+			}
+		}
+		e.liveSets = newSets
+		return ops, d
+	}
+	old := e.liveSets
+	e.liveSets = newSets
+	for s := 0; s < old; s++ {
+		for w := 0; w < e.geom.Ways; w++ {
+			ent := e.tags.Slot(s, w)
+			if ent == nil || !ent.Valid() {
+				continue
+			}
+			page := ent.Tag
+			ns := jumpHash(page, newSets)
+			if ns == s {
+				continue
+			}
+			meta := ent.Value
+			oldFrame := e.frame(s, w)
+			e.tags.Invalidate(s, page)
+			victim := e.tags.Victim(ns)
+			if victim.Valid() {
+				ops = e.evict(ns, victim, e.frame(ns, victim.Way()), ops)
+				d.Displaced++
+			}
+			newFrame := e.frame(ns, victim.Way())
+			ops = e.moveOps(meta, oldFrame, newFrame, ops)
+			e.tags.Insert(ns, page, meta)
+			d.Moved++
+		}
+	}
+	return ops, d
+}
+
+// moveOps emits the stacked-to-stacked migration of a page's valid
+// blocks from one frame to another: a single read + write span for
+// packed frames, per-block pairs for row-spread ones. Background
+// traffic only — nothing depends on it.
+func (e *Engine) moveOps(meta PageMeta, oldFrame, newFrame int64, ops []Op) []Op {
+	n := popcount(meta.Valid)
+	if n == 0 {
+		return ops
+	}
+	if !meta.Spread {
+		rd := len(ops)
+		ops = append(ops,
+			Op{Level: Stacked, Addr: e.mapping.BlockAddr(oldFrame, 0, false), Bytes: n * 64, DependsOn: NoDep},
+			Op{Level: Stacked, Addr: e.mapping.BlockAddr(newFrame, 0, false), Bytes: n * 64, Write: true, DependsOn: rd},
+		)
+		return ops
+	}
+	for rem := meta.Valid; rem != 0; rem &= rem - 1 {
+		b := trailingZeros(rem)
+		rd := len(ops)
+		ops = append(ops,
+			Op{Level: Stacked, Addr: e.mapping.BlockAddr(oldFrame, b, true), Bytes: 64, DependsOn: NoDep},
+			Op{Level: Stacked, Addr: e.mapping.BlockAddr(newFrame, b, true), Bytes: 64, Write: true, DependsOn: rd},
+		)
+	}
+	return ops
+}
+
 // fetch emits the footprint transfer: the demanded block first
 // (critical, unless a writeback carries its own data), the remaining
 // predicted blocks streaming from the page's off-chip row, then the
@@ -258,7 +431,7 @@ func (e *Engine) evict(set int, victim *sram.Entry[PageMeta], frame int64, ops [
 	}
 	e.ctr.DirtyEvicts++
 	n := popcount(v.Dirty)
-	victimBase := memtrace.Addr(victim.Tag*uint64(e.sets)+uint64(set)) * memtrace.Addr(e.geom.PageBytes)
+	victimBase := memtrace.Addr(e.pageIdxOf(victim.Tag, set)) * memtrace.Addr(e.geom.PageBytes)
 	rd := len(ops)
 	if !v.Spread {
 		ops = append(ops, Op{Level: Stacked, Addr: e.mapping.BlockAddr(frame, 0, false), Bytes: n * 64, DependsOn: NoDep})

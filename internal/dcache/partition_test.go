@@ -1,0 +1,227 @@
+package dcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpcache/internal/memtrace"
+)
+
+// newTestPartition builds a partitioned footprint-free engine (page
+// allocation keeps the test focused on resize mechanics): 1MB stacked,
+// 2KB pages, 4 ways — 512 pages, 128 sets at full cache.
+func newTestPartition(t *testing.T, memPct int, policy PartitionPolicy) *Partitioned {
+	t.Helper()
+	geom := PageGeometry{CapacityBytes: 1 << 20, PageBytes: 2048, Ways: 4}
+	eng, err := NewEngine(EngineConfig{
+		Name:       "test",
+		Geometry:   geom,
+		Alloc:      PageAlloc{},
+		Mapping:    PageDirectMapping{PageBytes: geom.PageBytes},
+		Consistent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartitioned(PartitionConfig{Name: "test+part", Inner: eng, Policy: policy, MemPercent: memPct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// fillPartition drives a deterministic mixed read/write stream wide
+// enough to populate the cache slice with clean and dirty pages.
+func fillPartition(p *Partitioned, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []Op
+	for i := 0; i < n; i++ {
+		rec := memtrace.Record{
+			Addr:  memtrace.Addr(rng.Intn(1<<14) * 64), // 1024 distinct pages
+			Write: rng.Intn(3) == 0,
+		}
+		ops = p.Access(rec, ops).Ops
+	}
+}
+
+// residentPages scans the engine's live sets and returns every cached
+// page index with its dirty state.
+func residentPages(p *Partitioned) map[uint64]bool {
+	out := make(map[uint64]bool)
+	e := p.engine
+	for s := 0; s < e.liveSets; s++ {
+		for w := 0; w < e.geom.Ways; w++ {
+			if ent := e.tags.Slot(s, w); ent != nil && ent.Valid() {
+				out[ent.Tag] = ent.Value.Dirty != 0
+			}
+		}
+	}
+	return out
+}
+
+// TestResizeShrinkNoStaleHitsAndSingleWriteback is the shrink half of
+// the resize invariant: every page flushed out of a dying set (or
+// purged into the grown memory region) must stop hitting, dirty pages
+// must emit exactly one off-chip writeback in the transition ops, and
+// clean pages none.
+func TestResizeShrinkNoStaleHitsAndSingleWriteback(t *testing.T) {
+	p := newTestPartition(t, 0, HashBandPartition{})
+	fillPartition(p, 20_000, 7)
+	before := residentPages(p)
+	if len(before) == 0 {
+		t.Fatal("no resident pages before resize")
+	}
+
+	ops := p.Resize(0.5, nil)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after shrink: %v", err)
+	}
+
+	// Count off-chip writebacks per page emitted by the transition.
+	wb := make(map[uint64]int)
+	for _, op := range ops {
+		if op.Level == OffChip && op.Write {
+			wb[uint64(op.Addr)/uint64(p.pageBytes)]++
+		}
+	}
+	for page, dirty := range before {
+		n := wb[page]
+		if dirty && gone(p, page) && n != 1 {
+			t.Errorf("dirty page %#x flushed with %d writebacks, want exactly 1", page, n)
+		}
+		if !dirty && n != 0 {
+			t.Errorf("clean page %#x emitted %d writebacks, want 0", page, n)
+		}
+	}
+
+	// No stale hits: a flushed page must miss (or route to the memory
+	// region with zero tag cycles) on its next access.
+	after := residentPages(p)
+	var scratch []Op
+	for page := range before {
+		if _, still := after[page]; still {
+			continue
+		}
+		addr := memtrace.Addr(page * uint64(p.pageBytes))
+		out := p.Access(memtrace.Record{Addr: addr}, scratch)
+		scratch = out.Ops
+		_, memRes := p.policy.Locate(page, p.memPages, p.totalPages)
+		if out.Hit != memRes {
+			t.Fatalf("page %#x after shrink: hit=%v memResident=%v (stale hit or lost region)", page, out.Hit, memRes)
+		}
+		if memRes && out.TagCycles != 0 {
+			t.Fatalf("memory-region hit paid %d tag cycles, want 0", out.TagCycles)
+		}
+	}
+	st := p.Partition()
+	if st.Resizes != 1 || st.FlushedClean+st.FlushedDirty+st.PurgedPages == 0 {
+		t.Fatalf("unexpected resize stats: %+v", st)
+	}
+}
+
+// gone reports whether a page is no longer cached.
+func gone(p *Partitioned, page uint64) bool {
+	_, still := residentPages(p)[page]
+	return !still
+}
+
+// TestResizeGrowMovesProportionalSlice is the grow half: shrinking the
+// memory region back re-homes only the consistent-hash slice of cached
+// pages, every surviving page keeps hitting, and the moved fraction
+// tracks the capacity growth instead of a full remap.
+func TestResizeGrowMovesProportionalSlice(t *testing.T) {
+	p := newTestPartition(t, 50, HashBandPartition{})
+	fillPartition(p, 20_000, 11)
+	before := residentPages(p)
+	if len(before) == 0 {
+		t.Fatal("no resident pages before grow")
+	}
+	liveBefore := p.engine.LiveSets()
+
+	p.Resize(0, nil) // all stacked capacity back to cache
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after grow: %v", err)
+	}
+	if p.engine.LiveSets() != p.engine.sets {
+		t.Fatalf("grow to 0%% memory left %d/%d sets live", p.engine.LiveSets(), p.engine.sets)
+	}
+
+	st := p.Partition()
+	after := residentPages(p)
+	for page := range before {
+		if _, still := after[page]; !still && st.DisplacedPages == 0 {
+			t.Errorf("page %#x lost by grow without displacement", page)
+		}
+	}
+	// Jump-hash consistency: doubling the sets should move roughly
+	// half the residents — and certainly not all of them (a modulo
+	// remap would move ~everything to different sets).
+	frac := float64(st.MovedPages) / float64(len(before))
+	want := 1 - float64(liveBefore)/float64(p.engine.LiveSets())
+	if frac < want/2 || frac > want*1.5+0.1 {
+		t.Errorf("grow moved %.2f of residents, want ≈%.2f (consistent-hash proportionality)", frac, want)
+	}
+}
+
+// TestResizeOscillationKeepsInvariants stress-cycles the split across
+// many fractions with traffic in between; the partition invariants
+// must hold after every transition.
+func TestResizeOscillationKeepsInvariants(t *testing.T) {
+	for _, policy := range []PartitionPolicy{HashBandPartition{}, LowAddrPartition{}} {
+		p := newTestPartition(t, 25, policy)
+		fracs := []float64{0.75, 0.1, 0.5, 0, 0.9, 0.25}
+		var ops []Op
+		for i, f := range fracs {
+			fillPartition(p, 5_000, int64(100+i))
+			ops = p.Resize(f, ops[:0])
+			if err := ValidateOps(ops); err != nil {
+				t.Fatalf("%s: resize to %.2f emits invalid ops: %v", policy.Name(), f, err)
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("%s: resize to %.2f: %v", policy.Name(), f, err)
+			}
+		}
+	}
+}
+
+// TestMemResidentMonotone pins the partition policies' consistency
+// contract: growing the memory region only ever adds resident pages.
+func TestMemResidentMonotone(t *testing.T) {
+	const totalPages = 1 << 10
+	for _, policy := range []PartitionPolicy{HashBandPartition{}, LowAddrPartition{}} {
+		for page := uint64(0); page < 4*totalPages; page += 7 {
+			wasResident := false
+			for memPages := int64(0); memPages < totalPages; memPages += 64 {
+				slot, res := policy.Locate(page, memPages, totalPages)
+				if wasResident && !res {
+					t.Fatalf("%s: page %#x left the memory region as it grew to %d pages", policy.Name(), page, memPages)
+				}
+				wasResident = res
+				if res && (slot < 0 || slot >= memPages) {
+					t.Fatalf("%s: page %#x slot %d out of range [0,%d)", policy.Name(), page, slot, memPages)
+				}
+			}
+		}
+	}
+}
+
+// TestJumpHashConsistency pins the property ResizeSets relies on:
+// growing the bucket count only moves keys into new buckets.
+func TestJumpHashConsistency(t *testing.T) {
+	for key := uint64(0); key < 10_000; key++ {
+		prev := jumpHash(key, 1)
+		if prev != 0 {
+			t.Fatalf("jumpHash(%d, 1) = %d", key, prev)
+		}
+		for buckets := 2; buckets <= 256; buckets *= 2 {
+			b := jumpHash(key, buckets)
+			if b < 0 || b >= buckets {
+				t.Fatalf("jumpHash(%d, %d) = %d out of range", key, buckets, b)
+			}
+			if b != prev && b < buckets/2 {
+				t.Fatalf("jumpHash(%d, %d) moved from %d to old bucket %d", key, buckets, prev, b)
+			}
+			prev = b
+		}
+	}
+}

@@ -126,6 +126,12 @@ type MappingPolicy interface {
 	// BlockAddr returns the stacked-DRAM address of block b of frame f
 	// under the page's placement.
 	BlockAddr(frame int64, block int, spread bool) memtrace.Addr
+	// SpreadsRows reports whether the policy spreads every page across
+	// stacked rows, leaving the stacked access stream with no
+	// row-buffer locality. DRAM config selection keys off it: a
+	// spreading policy gets the block design's close-page stacked
+	// policy, whatever the composite is called.
+	SpreadsRows() bool
 }
 
 // PageDirectMapping packs each frame into consecutive bytes — one
@@ -147,6 +153,10 @@ func (m PageDirectMapping) BlockAddr(frame int64, block int, spread bool) memtra
 	return memtrace.Addr(frame*int64(m.PageBytes) + int64(block)*64)
 }
 
+// SpreadsRows implements MappingPolicy: packed frames keep row
+// locality.
+func (PageDirectMapping) SpreadsRows() bool { return false }
+
 // BlockRowMapping spreads every page block-style: block b of every
 // frame lives in a dedicated address region, so consecutive blocks of
 // one page land in different stacked rows — the Loh-Hill placement's
@@ -166,6 +176,10 @@ func (BlockRowMapping) Place(uint64) bool { return true }
 func (m BlockRowMapping) BlockAddr(frame int64, block int, spread bool) memtrace.Addr {
 	return memtrace.Addr((int64(block)*m.Frames + frame) * 64)
 }
+
+// SpreadsRows implements MappingPolicy: every page spreads, so the
+// stacked stream has no row locality to keep open.
+func (BlockRowMapping) SpreadsRows() bool { return true }
 
 // HybridMapping chooses placement per page from its predicted
 // footprint, after Gemini's hybrid block/page mappings: dense pages
@@ -199,3 +213,7 @@ func (m HybridMapping) BlockAddr(frame int64, block int, spread bool) memtrace.A
 	}
 	return memtrace.Addr(frame*int64(m.PageBytes) + int64(block)*64)
 }
+
+// SpreadsRows implements MappingPolicy: dense pages stay packed, so
+// the stream retains enough locality for open-page policy.
+func (HybridMapping) SpreadsRows() bool { return false }

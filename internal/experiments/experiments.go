@@ -137,6 +137,11 @@ func (o Options) runFunctional(design dcache.Design, workload string) (system.Fu
 
 // runTiming is the common timing-mode step.
 func (o Options) runTiming(design dcache.Design, workload string) (system.TimingResult, error) {
+	return o.runTimingResized(design, workload, nil)
+}
+
+// runTimingResized is runTiming with a partition resize schedule.
+func (o Options) runTimingResized(design dcache.Design, workload string, plan *system.ResizePlan) (system.TimingResult, error) {
 	src, prof, err := o.trace(workload)
 	if err != nil {
 		return system.TimingResult{}, err
@@ -146,6 +151,7 @@ func (o Options) runTiming(design dcache.Design, workload string) (system.Timing
 		MLP:        prof.MLP,
 		WarmupRefs: o.WarmupRefs,
 		MaxRefs:    o.TimingRefs,
+		Resize:     plan,
 	}), nil
 }
 
@@ -161,11 +167,17 @@ func (o Options) buildFunctional(spec system.DesignSpec, workload string) (syste
 
 // buildTiming constructs a design and runs one timing point.
 func (o Options) buildTiming(spec system.DesignSpec, workload string) (system.TimingResult, error) {
+	return o.buildTimingResized(spec, workload, nil)
+}
+
+// buildTimingResized constructs a design and runs one timing point
+// under a partition resize schedule.
+func (o Options) buildTimingResized(spec system.DesignSpec, workload string, plan *system.ResizePlan) (system.TimingResult, error) {
 	design, err := system.BuildDesign(spec)
 	if err != nil {
 		return system.TimingResult{}, err
 	}
-	return o.runTiming(design, workload)
+	return o.runTimingResized(design, workload, plan)
 }
 
 // Runner is the common shape of every experiment driver.
@@ -202,15 +214,16 @@ var registry = map[string]experiment{
 	"ablation":    {Ablations, func(o Options) (any, error) { return AblationRows(o) }},
 	"designspace": {DesignSpace, rowsOf(DesignSpaceRows)},
 	"latency":     {Latency, rowsOf(LatencyRows)},
+	"partition":   {Partition, rowsOf(PartitionRows)},
 }
 
 // order lists experiments in paper order for "run everything"; the
-// design-space cross-product and the latency-distribution study (not
-// in the paper) run last.
+// design-space cross-product, the latency-distribution study, and the
+// partition study (not in the paper) run last.
 var order = []string{
 	"figure1", "table4", "figure4", "figure5", "figure6", "figure7",
 	"figure8", "figure9", "figure10", "figure11", "figure12", "ablation",
-	"designspace", "latency",
+	"designspace", "latency", "partition",
 }
 
 // Names returns the experiment identifiers in paper order.

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"fpcache/internal/synth"
+)
+
+// TestPartitionRowsDeterministicAtAnyWorkers pins the acceptance
+// property of the partition study: its rows — including the dynamic
+// resize-schedule row, whose transitions run inside each simulation
+// point — are identical at any worker count.
+func TestPartitionRowsDeterministicAtAnyWorkers(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{synth.WebSearch, synth.MapReduce}
+	o.TimingRefs = 4_000
+	o.WarmupRefs = 8_000
+
+	run := func(workers int) []PartitionRow {
+		o.Workers = workers
+		rows, err := PartitionRows(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rows
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("partition rows differ between workers=1 and workers=8:\n--- serial ---\n%+v\n--- parallel ---\n%+v", serial, parallel)
+	}
+
+	// Shape: (static fractions + 1 dynamic) rows per workload, with
+	// the dynamic row actually resizing.
+	nPer := len(partitionMemPcts) + 1
+	if len(serial) != len(o.Workloads)*nPer {
+		t.Fatalf("got %d rows, want %d", len(serial), len(o.Workloads)*nPer)
+	}
+	for i, r := range serial {
+		if r.Dynamic != (i%nPer == len(partitionMemPcts)) {
+			t.Fatalf("row %d: unexpected Dynamic=%v", i, r.Dynamic)
+		}
+		if r.Dynamic && r.Resizes == 0 {
+			t.Fatalf("dynamic row %d applied no resizes: %+v", i, r)
+		}
+		if !r.Dynamic && r.MemPct > 0 && r.MemHitRatio == 0 {
+			t.Fatalf("static row %d at %d%% memory served no memory hits: %+v", i, r.MemPct, r)
+		}
+	}
+}

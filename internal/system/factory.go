@@ -3,6 +3,7 @@ package system
 import (
 	"fmt"
 	"slices"
+	"strconv"
 	"strings"
 
 	"fpcache/internal/core"
@@ -39,6 +40,15 @@ const (
 	FillBanshee = "banshee"
 )
 
+// Partition policy names (the stacked-capacity split axis). In specs
+// a partition component carries the memory share as a percentage:
+// "memcache:50" dedicates half the stacked capacity to directly
+// addressed memory and runs the cache engine on the rest.
+const (
+	PartMemCache = "memcache"
+	PartMemLow   = "memlow"
+)
+
 // AllocPolicies lists the allocation-granularity policy names.
 func AllocPolicies() []string {
 	return []string{KindPage, KindSubblock, KindFootprint, KindFootprintNoSingleton, KindFootprintUnion}
@@ -52,6 +62,12 @@ func MappingPolicies() []string {
 // FillPolicies lists the replacement/fill policy names.
 func FillPolicies() []string {
 	return []string{FillLRU, FillHotGate, FillBanshee}
+}
+
+// PartitionPolicies lists the stacked-capacity partition policy
+// names (spec components take a ":<percent>" memory share).
+func PartitionPolicies() []string {
+	return []string{PartMemCache, PartMemLow}
 }
 
 // DesignSpec describes a cache design at a paper-scale capacity and a
@@ -71,6 +87,10 @@ type DesignSpec struct {
 	// Alloc/Mapping/Fill name engine policies explicitly; when set
 	// they override the corresponding component parsed from Kind.
 	Alloc, Mapping, Fill string
+	// Partition names a stacked-capacity partition explicitly
+	// ("memcache:50"); when set it overrides the component parsed
+	// from Kind.
+	Partition string
 	// PageBytes defaults to 2KB.
 	PageBytes int
 	// FHTEntries defaults to 16K (Footprint designs only).
@@ -112,6 +132,10 @@ type composition struct {
 	// page-granularity policy decomposition.
 	fixed                string
 	alloc, mapping, fill string
+	// partition/memPct describe a stacked-capacity split; partition
+	// is empty when the whole capacity is cache.
+	partition string
+	memPct    int
 	// forcePageBytes overrides the spec's page size (the canonical
 	// hotpage kind pins 4KB pages, §6.7).
 	forcePageBytes int
@@ -122,25 +146,61 @@ type composition struct {
 
 // Name returns the design name the composition reports: the canonical
 // kind for paper designs, a normalized "+"-joined spec for hybrids
-// (default components omitted).
+// (default components omitted). The CHOP composition keeps its
+// "hotpage" token in composite names because the token carries the
+// 4KB page size — spelling it out as "page+hotgate" would silently
+// drop the page-size pin on a name round-trip.
 func (c composition) Name() string {
 	if c.fixed != "" {
 		return c.fixed
 	}
-	if c.canonical != "" {
-		return c.canonical
+	var parts []string
+	switch {
+	case c.canonical != "":
+		parts = append(parts, c.canonical)
+	case c.alloc == KindPage && c.fill == FillHotGate && c.forcePageBytes == 4096:
+		parts = append(parts, KindHotPage)
+		if c.mapping != MapPageDirect {
+			parts = append(parts, c.mapping)
+		}
+	default:
+		parts = append(parts, c.alloc)
+		if c.mapping != MapPageDirect {
+			parts = append(parts, c.mapping)
+		}
+		if c.fill != FillLRU {
+			parts = append(parts, c.fill)
+		}
 	}
-	parts := []string{c.alloc}
-	if c.mapping != MapPageDirect {
-		parts = append(parts, c.mapping)
-	}
-	if c.fill != FillLRU {
-		parts = append(parts, c.fill)
+	if c.partition != "" {
+		parts = append(parts, fmt.Sprintf("%s:%d", c.partition, c.memPct))
 	}
 	return strings.Join(parts, "+")
 }
 
 func isAlloc(name string) bool { return slices.Contains(AllocPolicies(), name) }
+
+// parsePartition recognizes a partition spec component
+// ("memcache:50", "memlow:25"). found reports whether the token names
+// a partition policy at all; err is set when it does but the share is
+// malformed or out of range.
+func parsePartition(tok string) (name string, pct int, found bool, err error) {
+	name, share, ok := strings.Cut(tok, ":")
+	if !slices.Contains(PartitionPolicies(), name) {
+		return "", 0, false, nil
+	}
+	if !ok {
+		return "", 0, true, fmt.Errorf("system: partition %q needs a memory share, e.g. %q", tok, name+":50")
+	}
+	pct, err = strconv.Atoi(share)
+	if err != nil {
+		return "", 0, true, fmt.Errorf("system: bad partition share in %q: %v", tok, err)
+	}
+	if pct < 0 || pct >= 100 {
+		return "", 0, true, fmt.Errorf("system: partition share %d%% in %q out of range [0,100)", pct, tok)
+	}
+	return name, pct, true, nil
+}
 
 func isMapping(name string) bool { return slices.Contains(MappingPolicies(), name) }
 
@@ -173,6 +233,7 @@ func parseKind(kind string) (composition, error) {
 	parts := strings.Split(kind, "+")
 	for _, raw := range parts {
 		tok := strings.TrimSpace(raw)
+		pname, ppct, pfound, perr := parsePartition(tok)
 		switch {
 		case tok == "":
 			return composition{}, fmt.Errorf("system: empty component in design spec %q", kind)
@@ -203,9 +264,17 @@ func parseKind(kind string) (composition, error) {
 			if err := set(&c.fill, tok, "fill"); err != nil {
 				return composition{}, err
 			}
+		case pfound:
+			if perr != nil {
+				return composition{}, perr
+			}
+			if c.partition != "" && (c.partition != pname || c.memPct != ppct) {
+				return composition{}, fmt.Errorf("system: spec %q names two partitions (%s:%d, %s:%d)", kind, c.partition, c.memPct, pname, ppct)
+			}
+			c.partition, c.memPct = pname, ppct
 		default:
-			return composition{}, fmt.Errorf("system: unknown design kind or policy %q in spec %q (alloc %v, mapping %v, fill %v)",
-				tok, kind, AllocPolicies(), MappingPolicies(), FillPolicies())
+			return composition{}, fmt.Errorf("system: unknown design kind or policy %q in spec %q (alloc %v, mapping %v, fill %v, partition %v with a \":<percent>\" share)",
+				tok, kind, AllocPolicies(), MappingPolicies(), FillPolicies(), PartitionPolicies())
 		}
 	}
 	return c, nil
@@ -239,8 +308,18 @@ func resolve(spec DesignSpec) (composition, error) {
 		}
 		c.fill = spec.Fill
 	}
+	if spec.Partition != "" {
+		name, pct, found, err := parsePartition(spec.Partition)
+		if err != nil {
+			return composition{}, err
+		}
+		if !found {
+			return composition{}, fmt.Errorf("system: unknown partition policy %q (have %v with a \":<percent>\" share)", spec.Partition, PartitionPolicies())
+		}
+		c.partition, c.memPct = name, pct
+	}
 	if c.fixed != "" {
-		if c.alloc != "" || c.mapping != "" || c.fill != "" {
+		if c.alloc != "" || c.mapping != "" || c.fill != "" || c.partition != "" {
 			return composition{}, fmt.Errorf("system: design %q does not compose with policies", c.fixed)
 		}
 		return c, nil
@@ -389,18 +468,44 @@ func BuildDesign(spec DesignSpec) (dcache.Design, error) {
 		TagCycles: TagLatencyFor(name, spec.PaperCapacityMB),
 		Alloc:     alloc,
 		Mapping:   mapping,
+		// Partitioned designs need the resizable consistent-hash set
+		// mapping; the geometry spans the full stacked capacity and
+		// the partition decides how much of it the tags govern.
+		Consistent: comp.partition != "",
 	})
 	if err != nil {
 		return nil, err
 	}
+	var design dcache.Design
 	switch comp.fill {
 	case FillLRU:
-		return engine, nil
+		design = engine
 	case FillHotGate:
-		return dcache.NewGate(dcache.GateConfig{Name: name, Engine: engine, Policy: dcache.HotGatePolicy{Threshold: 8}})
+		design, err = dcache.NewGate(dcache.GateConfig{Name: name, Engine: engine, Policy: dcache.HotGatePolicy{Threshold: 8}})
 	case FillBanshee:
-		return dcache.NewGate(dcache.GateConfig{Name: name, Engine: engine, Policy: dcache.BansheeGatePolicy{}})
+		design, err = dcache.NewGate(dcache.GateConfig{Name: name, Engine: engine, Policy: dcache.BansheeGatePolicy{}})
 	default:
 		return nil, fmt.Errorf("system: unknown fill policy %q", comp.fill)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if comp.partition == "" {
+		return design, nil
+	}
+	return dcache.NewPartitioned(dcache.PartitionConfig{
+		Name:       name,
+		Inner:      design,
+		Policy:     buildPartition(comp.partition),
+		MemPercent: comp.memPct,
+	})
+}
+
+// buildPartition constructs the partition policy. parseKind already
+// validated the name.
+func buildPartition(name string) dcache.PartitionPolicy {
+	if name == PartMemLow {
+		return dcache.LowAddrPartition{}
+	}
+	return dcache.HashBandPartition{}
 }

@@ -40,30 +40,23 @@ func DRAMConfigsFor(designName string) (off, stk dram.Config) {
 
 // DRAMConfigsForDesign returns the DRAM configurations for a built
 // design, following its actual policies rather than its name: a
-// composed engine whose mapping spreads pages block-style gets the
-// block design's close-page stacked policy (its stacked stream has no
-// row locality to keep open), whatever the composite is called.
-// Canonical designs resolve exactly as DRAMConfigsFor.
+// composed engine whose mapping policy spreads every page block-style
+// (MappingPolicy.SpreadsRows) gets the block design's close-page
+// stacked policy — its stacked stream has no row locality to keep
+// open — whatever the composite is called. Partitioned designs route
+// through their cache slice's engine; the part-of-memory region is
+// page-contiguous and row-friendly either way. Canonical designs
+// resolve exactly as DRAMConfigsFor.
 func DRAMConfigsForDesign(d dcache.Design) (off, stk dram.Config) {
 	off, stk = DRAMConfigsFor(d.Name())
-	if eng := engineOf(d); eng != nil {
-		if _, spread := eng.Mapping().(dcache.BlockRowMapping); spread {
-			stk.Policy = dram.ClosePage
-		}
+	if eng := engineOf(d); eng != nil && eng.Mapping().SpreadsRows() {
+		stk.Policy = dram.ClosePage
 	}
 	return off, stk
 }
 
 // engineOf unwraps a design to its composed engine, if any.
-func engineOf(d dcache.Design) *dcache.Engine {
-	switch v := d.(type) {
-	case *dcache.Engine:
-		return v
-	case interface{ Unwrap() dcache.Design }:
-		return engineOf(v.Unwrap())
-	}
-	return nil
-}
+func engineOf(d dcache.Design) *dcache.Engine { return dcache.EngineOf(d) }
 
 // FunctionalResult summarizes a functional run. All counters exclude
 // the warmup prefix.
@@ -77,6 +70,10 @@ type FunctionalResult struct {
 	// Footprint carries predictor statistics when the design is a
 	// Footprint Cache, nil otherwise.
 	Footprint *core.Stats
+	// Partition carries partition statistics (memory-region hits,
+	// resize flush/migration counts, current split) when the design
+	// partitions its stacked capacity, nil otherwise.
+	Partition *dcache.PartitionStats
 }
 
 // MissRatio is the DRAM cache miss ratio.
@@ -101,21 +98,61 @@ func (r FunctionalResult) StackedEnergy() energy.Breakdown {
 	return energy.Stacked().Of(r.Stacked)
 }
 
+// ResizePlan schedules run-time partition resizes: every PeriodRefs
+// measured references the design's split moves to the next fraction
+// in Fractions (cycled). Both runners apply the plan at the same
+// trace-order reference boundaries, so a resizing timing run stays
+// byte-identical to its functional counterpart.
+type ResizePlan struct {
+	// PeriodRefs is the resize cadence in measured references.
+	PeriodRefs int
+	// Fractions are the successive memory fractions applied, cycled.
+	Fractions []float64
+}
+
+func (p *ResizePlan) valid() bool {
+	return p != nil && p.PeriodRefs > 0 && len(p.Fractions) > 0
+}
+
+// Resizable is implemented by designs whose stacked-capacity split
+// can move at run time (dcache.Partitioned). Resize appends the
+// transition's DRAM operations — dirty writebacks, migrations — to
+// ops.
+type Resizable interface {
+	Resize(memFraction float64, ops []dcache.Op) []dcache.Op
+}
+
 // RunFunctional drives records from src through the design,
 // accounting DRAM operations in functional row trackers. The first
 // warmupRefs records warm the structures without being measured —
 // mirroring the paper's use of half of each trace for warmup (§5.4).
 // maxRefs <= 0 drains the source.
 func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int) FunctionalResult {
+	return RunFunctionalResized(design, src, warmupRefs, maxRefs, nil)
+}
+
+// RunFunctionalResized is RunFunctional with a partition resize
+// schedule: every plan.PeriodRefs measured references the design's
+// split moves to the next fraction, and the transition's DRAM
+// operations (writebacks, migrations) are accounted like any other
+// traffic. A nil plan, or a design that is not Resizable, degrades to
+// a plain functional run.
+func RunFunctionalResized(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int, plan *ResizePlan) FunctionalResult {
 	offCfg, stkCfg := DRAMConfigsForDesign(design)
 	offT := dram.NewTracker(offCfg)
 	stkT := dram.NewTracker(stkCfg)
+
+	rz, _ := design.(Resizable)
+	if !plan.valid() {
+		rz = nil
+	}
+	resizeIdx := 0
 
 	// One ops scratch buffer serves the whole run: each Access appends
 	// into it and applyOps consumes it before the next reference, so
 	// the steady-state loop allocates nothing.
 	var ops []dcache.Op
-	run := func(n int) uint64 {
+	run := func(n int, resize bool) uint64 {
 		var refs, instrs uint64
 		for {
 			if n > 0 && refs >= uint64(n) {
@@ -130,12 +167,17 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 			out := design.Access(rec, ops)
 			applyOps(out.Ops, offT, stkT)
 			ops = out.Ops
+			if resize && rz != nil && refs%uint64(plan.PeriodRefs) == 0 {
+				ops = rz.Resize(plan.Fractions[resizeIdx%len(plan.Fractions)], ops[:0])
+				resizeIdx++
+				applyOps(ops, offT, stkT)
+			}
 		}
 		return instrs
 	}
 
 	if warmupRefs > 0 {
-		run(warmupRefs)
+		run(warmupRefs, false)
 	}
 	ctr0 := design.Counters()
 	off0, stk0 := offT.Stats, stkT.Stats
@@ -144,9 +186,14 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 	if extra != nil {
 		fp0 = extra()
 	}
+	part := partitionExtra(design)
+	var pt0 dcache.PartitionStats
+	if part != nil {
+		pt0 = part()
+	}
 
 	res := FunctionalResult{Design: design.Name()}
-	res.Instructions = run(maxRefs)
+	res.Instructions = run(maxRefs, true)
 	res.Counters = design.Counters().Sub(ctr0)
 	res.Refs = res.Counters.Accesses()
 	res.OffChip = offT.Stats.Sub(off0)
@@ -155,7 +202,20 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 		s := extra().Sub(fp0)
 		res.Footprint = &s
 	}
+	if part != nil {
+		s := part().Sub(pt0)
+		res.Partition = &s
+	}
 	return res
+}
+
+// partitionExtra locates the partition statistics of a design, nil
+// for designs without a partitioned stacked capacity.
+func partitionExtra(d dcache.Design) func() dcache.PartitionStats {
+	if p, ok := d.(*dcache.Partitioned); ok {
+		return p.Partition
+	}
+	return nil
 }
 
 // footprintExtra locates the Footprint predictor statistics of a

@@ -29,6 +29,13 @@ type TimingConfig struct {
 	// OffChip / Stacked override the per-design DRAM configs when
 	// non-nil (used by the Figure 1 opportunity study).
 	OffChip, Stacked *dram.Config
+	// Resize schedules run-time partition resizes. Applied at demux
+	// drain time in trace order — the same measured-reference
+	// boundaries RunFunctionalResized uses — so counters stay
+	// byte-identical to a functional run; the transition's DRAM
+	// operations dispatch into the controllers as background traffic
+	// at the cycle the boundary reference is drained.
+	Resize *ResizePlan
 }
 
 // TimingResult summarizes a timing run.
@@ -53,6 +60,9 @@ type TimingResult struct {
 	ReadLatencyP99 float64
 	// StallCycles sums per-core full-window stalls.
 	StallCycles uint64
+	// Partition carries partition statistics when the design
+	// partitions its stacked capacity, nil otherwise.
+	Partition *dcache.PartitionStats
 }
 
 // AggIPC is the paper's throughput metric (§5.4): aggregate committed
@@ -114,6 +124,16 @@ type demux struct {
 	left   int
 	done   bool
 
+	// Partition resize driver: when plan and rz are set, every
+	// plan.PeriodRefs drained references the split moves to the next
+	// fraction — in trace order, exactly as RunFunctionalResized —
+	// and the transition's ops are handed to onResize for dispatch.
+	plan      *ResizePlan
+	rz        Resizable
+	onResize  func(ops []dcache.Op)
+	drained   int
+	resizeIdx int
+
 	// Timed outcomes outlive the next Access (their ops dispatch after
 	// the SRAM lead time and complete asynchronously), so each outcome
 	// is copied out of the scratch buffer into a pooled buffer,
@@ -157,6 +177,16 @@ func (d *demux) pull(core int) (timedRec, bool) {
 		copy(ops, res.Ops)
 		c := int(rec.Core) % len(d.queues)
 		d.queues[c] = append(d.queues[c], timedRec{rec: rec, out: outcome{ops: ops, tagCycles: res.TagCycles}})
+		d.drained++
+		if d.rz != nil && d.drained%d.plan.PeriodRefs == 0 {
+			// The boundary reference's Access already copied its ops
+			// out of scratch, so the resize can reuse it.
+			d.scratch = d.rz.Resize(d.plan.Fractions[d.resizeIdx%len(d.plan.Fractions)], d.scratch[:0])
+			d.resizeIdx++
+			buf := d.getOps(len(d.scratch))
+			copy(buf, d.scratch)
+			d.onResize(buf)
+		}
 	}
 }
 
@@ -226,6 +256,19 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 	offC := dram.NewController(eng, offCfg)
 	stkC := dram.NewController(eng, stkCfg)
 	dm := newDemux(src, design, cfg.Cores, cfg.MaxRefs, scratch)
+	if rz, ok := design.(Resizable); ok && cfg.Resize.valid() {
+		dm.plan, dm.rz = cfg.Resize, rz
+		dm.onResize = func(ops []dcache.Op) {
+			// Resize traffic is pure background: nothing gates on it,
+			// and the pooled buffer recycles when the last op lands.
+			dispatchOps(eng, ops, offC, stkC, func() {}, dm.putOps)
+		}
+	}
+	part := partitionExtra(design)
+	var pt0 dcache.PartitionStats
+	if part != nil {
+		pt0 = part()
+	}
 
 	res := TimingResult{
 		Design:      design.Name(),
@@ -277,6 +320,10 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 	res.Counters = design.Counters().Sub(ctr0)
 	res.OffChip = offC.Stats
 	res.Stacked = stkC.Stats
+	if part != nil {
+		s := part().Sub(pt0)
+		res.Partition = &s
+	}
 	if readLatN > 0 {
 		res.AvgReadLatency = float64(readLatSum) / float64(readLatN)
 		res.ReadLatencyP50 = res.ReadLatency.Percentile(0.50)
