@@ -8,6 +8,7 @@
 //	fpbench -refs 2000000 -scale 0.0625 -workloads web-search,mapreduce
 //	fpbench -j 8                 # sweep simulation points on 8 workers
 //	fpbench -json out.json       # machine-readable rows + wall-clock
+//	fpbench -state-cache .warm   # warm each point once, restore thereafter
 //
 // Simulation points fan out over a worker pool (internal/sweep);
 // results are gathered in declaration order, so output is
@@ -42,6 +43,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		caps      = flag.String("capacities", "", "comma-separated paper-scale capacities in MB (default: 64,128,256,512)")
 		jsonOut   = flag.String("json", "", "write machine-readable rows + per-experiment wall-clock to this file")
+		stateDir  = flag.String("state-cache", "", "directory of content-keyed warm-state snapshots: each (workload, design, capacity) point warms once and later runs restore it (results byte-identical)")
 		workers   int
 	)
 	flag.IntVar(&workers, "j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
@@ -61,6 +63,7 @@ func main() {
 		WarmupRefs: *warmup,
 		TimingRefs: *timing,
 		Seed:       *seed,
+		StateCache: *stateDir,
 		// Options treats 0 as serial; the CLI treats 0 as "all cores".
 		Workers: sweep.Workers(workers),
 	}

@@ -14,6 +14,11 @@
 // instead of the synthetic generator — bit-identical results, no
 // generator cost.
 //
+// Warm state can be checkpointed and restored (§5.4's warmed
+// checkpoints): -checkpoint writes the post-warmup snapshot to a file
+// before measuring, and -restore loads one instead of simulating
+// warmup — the measured result is byte-identical either way.
+//
 // Usage:
 //
 //	fpsim -workload web-search -design footprint -capacity 256
@@ -21,6 +26,8 @@
 //	fpsim -design page,footprint+banshee -capacity 64,256 -j 4
 //	fpsim -design footprint -trace-out run.trace
 //	fpsim -design footprint+hybrid -trace-in run.trace
+//	fpsim -design footprint -checkpoint warm.snap
+//	fpsim -design footprint -restore warm.snap
 //	fpsim -design footprint+memcache:50 -resize 0.25,0.75 -resize-every 250000
 //	fpsim -list
 package main
@@ -55,6 +62,8 @@ func main() {
 		workers  = flag.Int("j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
 		traceOut = flag.String("trace-out", "", "record the reference stream to this trace file (functional mode, single point)")
 		traceIn  = flag.String("trace-in", "", "replay a recorded trace file instead of the generator (functional mode)")
+		checkpt  = flag.String("checkpoint", "", "write the post-warmup warm-state snapshot to this file, then measure (functional mode, single point)")
+		restore  = flag.String("restore", "", "restore the warm state from this snapshot instead of simulating warmup (functional mode, single point)")
 		list     = flag.Bool("list", false, "list workload, design, and policy names and exit")
 	)
 	flag.Parse()
@@ -72,6 +81,15 @@ func main() {
 	}
 	if *traceOut != "" && *traceIn != "" {
 		fail(fmt.Errorf("-trace-out and -trace-in are mutually exclusive"))
+	}
+	if (*checkpt != "" || *restore != "") && *mode != "functional" {
+		fail(fmt.Errorf("-checkpoint/-restore require -mode functional"))
+	}
+	if *checkpt != "" && *restore != "" {
+		fail(fmt.Errorf("-checkpoint and -restore are mutually exclusive"))
+	}
+	if (*checkpt != "" || *restore != "") && *traceOut != "" {
+		fail(fmt.Errorf("-checkpoint/-restore do not combine with -trace-out"))
 	}
 
 	var fractions []float64
@@ -124,6 +142,9 @@ func main() {
 	if *traceOut != "" && len(pts) > 1 {
 		fail(fmt.Errorf("-trace-out records one run; got %d simulation points", len(pts)))
 	}
+	if (*checkpt != "" || *restore != "") && len(pts) > 1 {
+		fail(fmt.Errorf("-checkpoint/-restore address one run's warm state; got %d simulation points", len(pts)))
+	}
 
 	reports, err := sweep.Map(*workers, len(pts), func(i int) (string, error) {
 		p := pts[i]
@@ -140,7 +161,13 @@ func main() {
 		}
 		var buf bytes.Buffer
 		if *mode == "functional" {
-			res, err := runFunctionalPoint(cfg, *traceIn, *traceOut)
+			var res fpcache.FunctionalResult
+			var err error
+			if *checkpt != "" || *restore != "" {
+				res, err = runWarmStatePoint(cfg, *traceIn, *checkpt, *restore)
+			} else {
+				res, err = runFunctionalPoint(cfg, *traceIn, *traceOut)
+			}
 			if err != nil {
 				return "", err
 			}
@@ -234,6 +261,103 @@ func runFunctionalPoint(cfg fpcache.Config, traceIn, traceOut string) (fpcache.F
 	default:
 		return fpcache.RunFunctional(cfg)
 	}
+}
+
+// effectiveWarmup mirrors the facade's Config.WarmupRefs defaulting:
+// -1 disables warmup, 0 defaults to the measured reference count.
+func effectiveWarmup(cfg fpcache.Config) int {
+	switch {
+	case cfg.WarmupRefs < 0:
+		return 0
+	case cfg.WarmupRefs == 0:
+		return cfg.Refs
+	default:
+		return cfg.WarmupRefs
+	}
+}
+
+// runWarmStatePoint runs one functional simulation through the
+// warm-state checkpoint machinery: with restore, the design's warm
+// state loads from a snapshot and the warmup prefix is skipped (not
+// simulated — seeked past via the chunk index when the trace file is
+// indexed); with checkpoint, the state warms normally and the
+// snapshot is written before measurement. Either way the measured
+// result is byte-identical to an uninterrupted run. The snapshot
+// stores the run identity (workload, seed, scale, warmup), so a
+// restore under different flags fails instead of silently measuring a
+// different run.
+func runWarmStatePoint(cfg fpcache.Config, traceIn, checkpoint, restore string) (fpcache.FunctionalResult, error) {
+	design, err := fpcache.NewDesign(cfg)
+	if err != nil {
+		return fpcache.FunctionalResult{}, err
+	}
+	var src memtrace.Source
+	var srcErr func() error
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return fpcache.FunctionalResult{}, err
+		}
+		defer f.Close()
+		// The seekable reader lets a restore fast-forward warmup via
+		// the v2 chunk index (or v1 arithmetic) instead of decoding it.
+		r, err := memtrace.NewFileReader(f)
+		if err != nil {
+			return fpcache.FunctionalResult{}, err
+		}
+		src, srcErr = r, r.Err
+	} else {
+		src, _, err = fpcache.NewTrace(cfg)
+		if err != nil {
+			return fpcache.FunctionalResult{}, err
+		}
+	}
+
+	state := system.NewSimState(design)
+	warmup := effectiveWarmup(cfg)
+	meta := system.SnapshotMeta{Workload: cfg.Workload, Seed: cfg.Seed, Scale: cfg.Scale, WarmupRefs: warmup}
+	if restore != "" {
+		f, err := os.Open(restore)
+		if err != nil {
+			return fpcache.FunctionalResult{}, err
+		}
+		rerr := state.Restore(f, meta)
+		f.Close()
+		if rerr != nil {
+			return fpcache.FunctionalResult{}, rerr
+		}
+		if skipped := memtrace.Skip(src, warmup); skipped != warmup {
+			return fpcache.FunctionalResult{}, fmt.Errorf("trace exhausted after %d of %d warmup records", skipped, warmup)
+		}
+	} else {
+		state.Warm(src, warmup)
+		f, err := os.Create(checkpoint)
+		if err != nil {
+			return fpcache.FunctionalResult{}, err
+		}
+		serr := state.Snapshot(f, meta)
+		if cerr := f.Close(); serr == nil {
+			serr = cerr
+		}
+		if serr != nil {
+			return fpcache.FunctionalResult{}, serr
+		}
+	}
+
+	var plan *system.ResizePlan
+	if cfg.ResizePeriodRefs > 0 && len(cfg.ResizeFractions) > 0 {
+		plan = &system.ResizePlan{PeriodRefs: cfg.ResizePeriodRefs, Fractions: cfg.ResizeFractions}
+	}
+	res := state.Measure(src, cfg.Refs, plan)
+	if srcErr != nil {
+		if err := srcErr(); err != nil {
+			return res, err
+		}
+	}
+	if res.Refs < uint64(cfg.Refs) {
+		return res, fmt.Errorf("trace exhausted after %d measured references (want %d)", res.Refs, cfg.Refs)
+	}
+	return res, nil
 }
 
 // printLists writes the valid workload, design, and policy names.

@@ -2,9 +2,18 @@
 // binary trace format, so external tools (or repeated cache studies)
 // can replay identical reference streams.
 //
+// Format v1 (the default) is a flat fixed-width record dump; -v2
+// writes trace format v2 — delta/varint-compressed records in
+// independently decodable, CRC-protected chunks with a trailing chunk
+// index, which seekable readers (memtrace.FileReader, fpsim -restore
+// fast-forwarding) use to jump to any record without decoding the
+// prefix. -index inspects an existing trace file of either version.
+//
 // Usage:
 //
 //	tracegen -workload mapreduce -refs 5000000 -o mapreduce.trace
+//	tracegen -workload mapreduce -refs 5000000 -v2 -o mapreduce.trace
+//	tracegen -index mapreduce.trace
 package main
 
 import (
@@ -22,9 +31,19 @@ func main() {
 		refs     = flag.Int("refs", 1_000_000, "number of references to emit")
 		scale    = flag.Float64("scale", fpcache.DefaultScale, "capacity scale factor")
 		seed     = flag.Int64("seed", 1, "random seed")
+		v2       = flag.Bool("v2", false, "write trace format v2 (chunked, delta-compressed, seekable)")
+		chunk    = flag.Int("chunk", memtrace.DefaultChunkRecords, "records per v2 chunk")
+		index    = flag.String("index", "", "print the chunk index of an existing trace file and exit")
 		out      = flag.String("o", "", "output file (required)")
 	)
 	flag.Parse()
+
+	if *index != "" {
+		if err := printIndex(*index); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -o output file is required")
 		os.Exit(2)
@@ -41,23 +60,82 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	tw := memtrace.NewWriter(f)
-	for i := 0; i < *refs; i++ {
+	wrote, err := writeTrace(f, src, *refs, *v2, *chunk)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(err)
+	}
+	version := 1
+	if *v2 {
+		version = 2
+	}
+	fmt.Printf("tracegen: wrote %d records of %s to %s (format v%d)\n", wrote, *workload, *out, version)
+}
+
+// writeTrace drains up to refs records from src into w in the chosen
+// format.
+func writeTrace(w *os.File, src memtrace.Source, refs int, v2 bool, chunkRecs int) (uint64, error) {
+	if v2 {
+		tw := memtrace.NewWriterV2(w)
+		if err := tw.SetChunkRecords(chunkRecs); err != nil {
+			return 0, err
+		}
+		for i := 0; i < refs; i++ {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := tw.Write(rec); err != nil {
+				return tw.Count(), err
+			}
+		}
+		return tw.Count(), tw.Close()
+	}
+	tw := memtrace.NewWriter(w)
+	for i := 0; i < refs; i++ {
 		rec, ok := src.Next()
 		if !ok {
 			break
 		}
 		if err := tw.Write(rec); err != nil {
-			fail(err)
+			return tw.Count(), err
 		}
 	}
-	if err := tw.Flush(); err != nil {
-		fail(err)
+	return tw.Count(), tw.Flush()
+}
+
+// printIndex opens a trace file and reports its version, record count,
+// and (for v2) the chunk index.
+func printIndex(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
 	}
-	if err := f.Close(); err != nil {
-		fail(err)
+	defer f.Close()
+	fr, err := memtrace.NewFileReader(f)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("tracegen: wrote %d records of %s to %s\n", tw.Count(), *workload, *out)
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: format v%d, %d records, %d bytes", path, fr.Version(), fr.Len(), st.Size())
+	if fr.Len() > 0 {
+		fmt.Printf(" (%.2f bytes/record)", float64(st.Size())/float64(fr.Len()))
+	}
+	fmt.Println()
+	offsets, starts, counts := fr.Chunks()
+	if len(offsets) == 0 {
+		return nil
+	}
+	fmt.Printf("%6s %12s %12s %10s\n", "chunk", "offset", "first rec", "records")
+	for i := range offsets {
+		fmt.Printf("%6d %12d %12d %10d\n", i, offsets[i], starts[i], counts[i])
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -49,6 +49,15 @@ type Options struct {
 	// concurrently, and negative values use GOMAXPROCS. Output is
 	// byte-identical at every setting.
 	Workers int
+	// StateCache names a directory of content-keyed warm-state
+	// snapshots (fpbench -state-cache). When set, every point built
+	// through the spec-driven helpers warms its design once, snapshots
+	// the warm state, and later runs of the same (workload, spec,
+	// seed, scale, warmup) point restore it instead of re-paying the
+	// warmup references. Results are byte-identical either way
+	// (snapshot restore is exact; the snapshot-parity suite in
+	// internal/system pins it). Empty disables caching.
+	StateCache string
 }
 
 // WithDefaults returns the options as every driver will actually run
@@ -156,13 +165,22 @@ func (o Options) runTimingResized(design dcache.Design, workload string, plan *s
 }
 
 // buildFunctional constructs a design and runs one functional point —
-// the body of most sweep jobs.
+// the body of most sweep jobs. With a state cache configured, the
+// design's warm state is restored (or warmed once and stored) instead
+// of re-simulating the warmup prefix.
 func (o Options) buildFunctional(spec system.DesignSpec, workload string) (system.FunctionalResult, error) {
 	design, err := system.BuildDesign(spec)
 	if err != nil {
 		return system.FunctionalResult{}, err
 	}
-	return o.runFunctional(design, workload)
+	if o.StateCache == "" || o.WarmupRefs <= 0 {
+		return o.runFunctional(design, workload)
+	}
+	state, src, _, err := o.warmState(design, spec, workload)
+	if err != nil {
+		return system.FunctionalResult{}, err
+	}
+	return state.Measure(src, o.Refs, nil), nil
 }
 
 // buildTiming constructs a design and runs one timing point.
@@ -171,13 +189,64 @@ func (o Options) buildTiming(spec system.DesignSpec, workload string) (system.Ti
 }
 
 // buildTimingResized constructs a design and runs one timing point
-// under a partition resize schedule.
+// under a partition resize schedule. Timing runs share the functional
+// warm-state cache: the design state after warmup is identical in both
+// modes (RunTiming's warmup is the same Access sequence), so one
+// snapshot per point serves every experiment that sweeps it.
 func (o Options) buildTimingResized(spec system.DesignSpec, workload string, plan *system.ResizePlan) (system.TimingResult, error) {
 	design, err := system.BuildDesign(spec)
 	if err != nil {
 		return system.TimingResult{}, err
 	}
-	return o.runTimingResized(design, workload, plan)
+	if o.StateCache == "" || o.WarmupRefs <= 0 {
+		return o.runTimingResized(design, workload, plan)
+	}
+	state, src, prof, err := o.warmState(design, spec, workload)
+	if err != nil {
+		return system.TimingResult{}, err
+	}
+	return system.RunTiming(state.Design(), src, system.TimingConfig{
+		Cores:   prof.Cores,
+		MLP:     prof.MLP,
+		MaxRefs: o.TimingRefs,
+		Resize:  plan,
+	}), nil
+}
+
+// warmState builds the point's warm simulation state — restored from
+// the state cache when a snapshot exists, warmed from the trace (and
+// stored) otherwise — returning the trace source positioned at the
+// first measured reference.
+func (o Options) warmState(design dcache.Design, spec system.DesignSpec, workload string) (*system.SimState, memtrace.Source, synth.Profile, error) {
+	src, prof, err := o.trace(workload)
+	if err != nil {
+		return nil, nil, synth.Profile{}, err
+	}
+	cache, err := system.NewWarmCache(o.StateCache)
+	if err != nil {
+		return nil, nil, synth.Profile{}, err
+	}
+	key := system.WarmKey{
+		Workload:   workload,
+		Seed:       o.Seed,
+		Scale:      o.Scale,
+		WarmupRefs: o.WarmupRefs,
+		Spec:       spec,
+	}
+	state := system.NewSimState(design)
+	hit, err := cache.Load(key, state)
+	if err != nil {
+		return nil, nil, synth.Profile{}, err
+	}
+	if hit {
+		memtrace.Skip(src, o.WarmupRefs)
+		return state, src, prof, nil
+	}
+	state.Warm(src, o.WarmupRefs)
+	if err := cache.Store(key, state); err != nil {
+		return nil, nil, synth.Profile{}, err
+	}
+	return state, src, prof, nil
 }
 
 // Runner is the common shape of every experiment driver.

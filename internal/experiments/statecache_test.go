@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestStateCacheRowsIdentical is the experiment-level face of the
+// snapshot-parity guarantee: enabling the warm-state cache must not
+// change a single row — neither on the run that populates the cache
+// nor on the run that restores from it — across functional and timing
+// experiments, including the partitioned resize study.
+func TestStateCacheRowsIdentical(t *testing.T) {
+	base := Options{
+		Scale:      1.0 / 64,
+		Refs:       20_000,
+		WarmupRefs: 15_000,
+		TimingRefs: 5_000,
+		Seed:       3,
+		Workloads:  []string{"web-search"},
+		Capacities: []int{64},
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"figure5", "latency", "partition"} {
+		want, err := Rows(name, base)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		cached := base
+		cached.StateCache = dir
+		cold, err := Rows(name, cached)
+		if err != nil {
+			t.Fatalf("%s (cache cold): %v", name, err)
+		}
+		if !reflect.DeepEqual(want, cold) {
+			t.Fatalf("%s: rows differ when populating the state cache\nwant %+v\ngot  %+v", name, want, cold)
+		}
+
+		warm, err := Rows(name, cached)
+		if err != nil {
+			t.Fatalf("%s (cache warm): %v", name, err)
+		}
+		if !reflect.DeepEqual(want, warm) {
+			t.Fatalf("%s: rows differ when restoring from the state cache\nwant %+v\ngot  %+v", name, want, warm)
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("state cache directory is empty; no snapshots were stored")
+	}
+}

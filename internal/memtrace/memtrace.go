@@ -83,7 +83,10 @@ func Collect(src Source, max int) []Record {
 	}
 }
 
-// Limit wraps a source, truncating it after n records.
+// Limit wraps a source, truncating it after N records. N <= 0 means
+// unbounded — the same convention as Collect's max — so an accidental
+// zero limit passes the source through instead of silently yielding an
+// empty trace.
 type Limit struct {
 	Src  Source
 	N    int
@@ -92,7 +95,7 @@ type Limit struct {
 
 // Next implements Source.
 func (l *Limit) Next() (Record, bool) {
-	if l.seen >= l.N {
+	if l.N > 0 && l.seen >= l.N {
 		return Record{}, false
 	}
 	r, ok := l.Src.Next()
@@ -103,9 +106,30 @@ func (l *Limit) Next() (Record, bool) {
 	return r, true
 }
 
+// Skip discards up to n records from src, returning how many were
+// skipped (fewer than n only when the source is exhausted). Sources
+// that support random access (FileReader over an indexed v2 trace)
+// skip by seeking instead of decoding.
+func Skip(src Source, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if s, ok := src.(interface{ SkipRecords(int) (int, error) }); ok {
+		k, _ := s.SkipRecords(n)
+		return k
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := src.Next(); !ok {
+			return i
+		}
+	}
+	return n
+}
+
 const (
-	magic   = uint32(0xF007C0DE) // "FOOTCODE"
-	version = uint16(1)
+	magic    = uint32(0xF007C0DE) // "FOOTCODE"
+	version1 = uint16(1)
+	version2 = uint16(2)
 )
 
 // Writer streams records to an io.Writer in the binary trace format.
@@ -121,7 +145,7 @@ func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriterSize(w, 1
 func (tw *Writer) header() error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], magic)
-	binary.LittleEndian.PutUint16(hdr[4:], version)
+	binary.LittleEndian.PutUint16(hdr[4:], version1)
 	_, err := tw.w.Write(hdr[:])
 	return err
 }
@@ -163,11 +187,21 @@ func (tw *Writer) Flush() error {
 // Count returns the number of records written so far.
 func (tw *Writer) Count() uint64 { return tw.wrote }
 
-// Reader decodes the binary trace format; it implements Source.
+// Reader decodes the binary trace formats; it implements Source.
+// Both versions stream: v1's flat records and v2's chunked frames
+// (v2.go) decode from a plain io.Reader — the trailing v2 chunk index
+// is only needed for seeking (FileReader).
 type Reader struct {
-	r      *bufio.Reader
-	err    error
-	opened bool
+	r       *bufio.Reader
+	err     error
+	opened  bool
+	version uint16
+
+	// v2 streaming state: the current chunk's decoded payload and the
+	// per-chunk delta baselines.
+	chunk    chunkDecoder
+	read     uint64 // records returned so far
+	finished bool   // v2 index frame reached
 }
 
 // NewReader wraps r.
@@ -177,19 +211,12 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReaderSize(r, 1
 func (tr *Reader) Err() error { return tr.err }
 
 func (tr *Reader) open() bool {
-	var hdr [8]byte
-	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
-		tr.err = fmt.Errorf("memtrace: reading header: %w", err)
+	v, err := readHeader(tr.r)
+	if err != nil {
+		tr.err = err
 		return false
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
-		tr.err = errors.New("memtrace: bad magic; not a trace file")
-		return false
-	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != version {
-		tr.err = fmt.Errorf("memtrace: unsupported trace version %d", v)
-		return false
-	}
+	tr.version = v
 	tr.opened = true
 	return true
 }
@@ -202,6 +229,9 @@ func (tr *Reader) Next() (Record, bool) {
 	if !tr.opened && !tr.open() {
 		return Record{}, false
 	}
+	if tr.version == version2 {
+		return tr.nextV2()
+	}
 	var buf [22]byte
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
 		if err != io.EOF {
@@ -209,11 +239,33 @@ func (tr *Reader) Next() (Record, bool) {
 		}
 		return Record{}, false
 	}
+	return decodeV1(buf), true
+}
+
+// readHeader consumes and validates the 8-byte trace header shared by
+// both format versions, returning the version.
+func readHeader(r io.Reader) (uint16, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("memtrace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return 0, errors.New("memtrace: bad magic; not a trace file")
+	}
+	v := binary.LittleEndian.Uint16(hdr[4:])
+	if v != version1 && v != version2 {
+		return 0, fmt.Errorf("memtrace: unsupported trace version %d", v)
+	}
+	return v, nil
+}
+
+// decodeV1 decodes one fixed-width v1 record.
+func decodeV1(buf [22]byte) Record {
 	return Record{
 		PC:    PC(binary.LittleEndian.Uint64(buf[0:])),
 		Addr:  Addr(binary.LittleEndian.Uint64(buf[8:])),
 		Core:  buf[16],
 		Write: buf[17] != 0,
 		Gap:   binary.LittleEndian.Uint32(buf[18:]),
-	}, true
+	}
 }

@@ -1,0 +1,308 @@
+package memtrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// genRecords builds a deterministic pseudo-random record stream with
+// the locality structure real traces have (small address deltas with
+// occasional jumps), so delta encoding is exercised in both regimes.
+func genRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	pc, addr := uint64(0x400000), uint64(1<<32)
+	for i := range recs {
+		if rng.Intn(10) == 0 {
+			addr = rng.Uint64() >> 16
+			pc = 0x400000 + uint64(rng.Intn(1<<20))
+		} else {
+			addr += uint64(rng.Intn(4096)) - 1024
+			pc += uint64(rng.Intn(64))
+		}
+		recs[i] = Record{
+			PC:    PC(pc),
+			Addr:  Addr(addr),
+			Core:  uint8(rng.Intn(256)),
+			Write: rng.Intn(4) == 0,
+			Gap:   uint32(rng.Intn(500)),
+		}
+	}
+	return recs
+}
+
+// writeV2 encodes records into a v2 trace with the given chunk size.
+func writeV2(t *testing.T, recs []Record, chunkRecs int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriterV2(&buf)
+	if err := w.SetChunkRecords(chunkRecs); err != nil {
+		t.Fatalf("SetChunkRecords: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(recs))
+	}
+	return buf.Bytes()
+}
+
+// drain collects every record from a source and its terminal error.
+func drain(src Source) ([]Record, error) {
+	var out []Record
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	type errer interface{ Err() error }
+	if e, ok := src.(errer); ok {
+		return out, e.Err()
+	}
+	return out, nil
+}
+
+func TestV2StreamRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		recs := genRecords(n, int64(n)+1)
+		data := writeV2(t, recs, 64)
+		got, err := drain(NewReader(bytes.NewReader(data)))
+		if err != nil {
+			t.Fatalf("n=%d: stream error: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d records", n, len(got))
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("n=%d: record %d = %+v, want %+v", n, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+func TestV2FileReaderRoundTripAndSeek(t *testing.T) {
+	recs := genRecords(1000, 7)
+	data := writeV2(t, recs, 100)
+	fr, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewFileReader: %v", err)
+	}
+	if fr.Len() != 1000 || fr.Version() != 2 {
+		t.Fatalf("Len=%d Version=%d", fr.Len(), fr.Version())
+	}
+	got, err := drain(fr)
+	if err != nil || len(got) != 1000 {
+		t.Fatalf("drain: %d records, err %v", len(got), err)
+	}
+	// Seek to assorted positions, including chunk boundaries and EOF.
+	for _, i := range []uint64{0, 1, 99, 100, 101, 500, 999, 1000} {
+		if err := fr.SeekRecord(i); err != nil {
+			t.Fatalf("SeekRecord(%d): %v", i, err)
+		}
+		r, ok := fr.Next()
+		if i == 1000 {
+			if ok {
+				t.Fatalf("Next after Seek(EOF) yielded %+v", r)
+			}
+			continue
+		}
+		if !ok || r != recs[i] {
+			t.Fatalf("Seek(%d) -> %+v ok=%v, want %+v", i, r, ok, recs[i])
+		}
+	}
+	if err := fr.SeekRecord(1001); err == nil {
+		t.Fatal("SeekRecord beyond EOF succeeded")
+	}
+	// SkipRecords advances exactly and clamps at EOF.
+	if err := fr.SeekRecord(0); err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := fr.SkipRecords(250); k != 250 {
+		t.Fatalf("SkipRecords = %d", k)
+	}
+	if r, ok := fr.Next(); !ok || r != recs[250] {
+		t.Fatalf("after skip: %+v ok=%v", r, ok)
+	}
+	if k, _ := fr.SkipRecords(10_000); k != 1000-251 {
+		t.Fatalf("clamped skip = %d, want %d", k, 1000-251)
+	}
+}
+
+func TestV1FileReaderSeek(t *testing.T) {
+	recs := genRecords(200, 3)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFileReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewFileReader(v1): %v", err)
+	}
+	if fr.Len() != 200 || fr.Version() != 1 {
+		t.Fatalf("Len=%d Version=%d", fr.Len(), fr.Version())
+	}
+	for _, i := range []uint64{0, 137, 199} {
+		if err := fr.SeekRecord(i); err != nil {
+			t.Fatalf("SeekRecord(%d): %v", i, err)
+		}
+		if r, ok := fr.Next(); !ok || r != recs[i] {
+			t.Fatalf("Seek(%d) -> %+v ok=%v", i, r, ok)
+		}
+	}
+	if err := fr.SeekRecord(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := drain(fr)
+	if err != nil || len(got) != 200 {
+		t.Fatalf("full drain: %d records, err %v", len(got), err)
+	}
+}
+
+// TestCrossVersionReads pins that both reader types read both formats.
+func TestCrossVersionReads(t *testing.T) {
+	recs := genRecords(300, 11)
+	var v1 bytes.Buffer
+	w1 := NewWriter(&v1)
+	for _, r := range recs {
+		if err := w1.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := writeV2(t, recs, 77)
+
+	for name, data := range map[string][]byte{"v1": v1.Bytes(), "v2": v2} {
+		got, err := drain(NewReader(bytes.NewReader(data)))
+		if err != nil || len(got) != 300 {
+			t.Fatalf("%s stream: %d records, err %v", name, len(got), err)
+		}
+		fr, err := NewFileReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s NewFileReader: %v", name, err)
+		}
+		got, err = drain(fr)
+		if err != nil || len(got) != 300 {
+			t.Fatalf("%s file: %d records, err %v", name, len(got), err)
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("%s record %d mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestV2TruncatedChunk(t *testing.T) {
+	recs := genRecords(500, 5)
+	data := writeV2(t, recs, 100)
+	// Cut the stream mid-chunk: streaming reads must error, not stop
+	// silently.
+	cut := data[:len(data)/2]
+	got, err := drain(NewReader(bytes.NewReader(cut)))
+	if err == nil {
+		t.Fatalf("truncated stream read %d records without error", len(got))
+	}
+	if _, err := NewFileReader(bytes.NewReader(cut)); err == nil {
+		t.Fatal("NewFileReader accepted a truncated trace")
+	}
+}
+
+func TestV2CorruptPayload(t *testing.T) {
+	recs := genRecords(300, 9)
+	data := writeV2(t, recs, 100)
+	// Flip a byte inside the first chunk's payload: the CRC must catch
+	// it on both read paths.
+	corrupt := append([]byte(nil), data...)
+	corrupt[40] ^= 0xFF
+	if _, err := drain(NewReader(bytes.NewReader(corrupt))); err == nil || !strings.Contains(err.Error(), "crc") {
+		t.Fatalf("streaming read of corrupt chunk: err %v", err)
+	}
+	// The seekable reader hits the bad chunk either at open (it loads
+	// chunk 0 eagerly) or while draining.
+	fr, err := NewFileReader(bytes.NewReader(corrupt))
+	if err == nil {
+		_, err = drain(fr)
+	}
+	if err == nil || !strings.Contains(err.Error(), "crc") {
+		t.Fatalf("file read of corrupt chunk: err %v", err)
+	}
+}
+
+func TestV2CorruptIndex(t *testing.T) {
+	recs := genRecords(300, 13)
+	data := writeV2(t, recs, 100)
+
+	// Bad footer magic.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := NewFileReader(bytes.NewReader(bad)); err == nil {
+		t.Fatal("NewFileReader accepted a bad footer magic")
+	}
+
+	// Index size pointing outside the file.
+	bad = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[len(bad)-8:], uint32(len(bad)))
+	if _, err := NewFileReader(bytes.NewReader(bad)); err == nil {
+		t.Fatal("NewFileReader accepted an oversized index")
+	}
+
+	// A lying total-record count.
+	bad = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(bad[len(bad)-16:], 12345)
+	if _, err := NewFileReader(bytes.NewReader(bad)); err == nil {
+		t.Fatal("NewFileReader accepted a wrong record total")
+	}
+	// The streaming reader cross-checks the same total.
+	if _, err := drain(NewReader(bytes.NewReader(bad))); err == nil {
+		t.Fatal("streaming reader accepted a wrong record total")
+	}
+}
+
+func TestSkipFallback(t *testing.T) {
+	recs := genRecords(50, 17)
+	s := NewSlice(recs)
+	if k := Skip(s, 20); k != 20 {
+		t.Fatalf("Skip = %d", k)
+	}
+	if r, _ := s.Next(); r != recs[20] {
+		t.Fatalf("after Skip: %+v", r)
+	}
+	if k := Skip(s, 1000); k != 29 {
+		t.Fatalf("clamped Skip = %d, want 29", k)
+	}
+}
+
+func TestLimitZeroMeansUnbounded(t *testing.T) {
+	recs := genRecords(10, 19)
+	for _, n := range []int{0, -1} {
+		l := &Limit{Src: NewSlice(recs), N: n}
+		got, _ := drain(l)
+		if len(got) != 10 {
+			t.Fatalf("Limit{N:%d} yielded %d records, want all 10", n, len(got))
+		}
+	}
+	l := &Limit{Src: NewSlice(recs), N: 3}
+	if got, _ := drain(l); len(got) != 3 {
+		t.Fatalf("Limit{N:3} yielded %d records", len(got))
+	}
+}

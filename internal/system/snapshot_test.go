@@ -1,0 +1,304 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"fpcache/internal/memtrace"
+	"fpcache/internal/synth"
+)
+
+// snapshotSpecs is the design sweep of the snapshot-parity suite: the
+// canonical paper designs, the showcased hybrids, the full alloc x
+// mapping x fill policy cross product, and partitioned compositions —
+// every shape BuildDesign can produce.
+func snapshotSpecs() []DesignSpec {
+	const mb = 64
+	const scale = 1.0 / 64
+	spec := func(kind string) DesignSpec {
+		return DesignSpec{Kind: kind, PaperCapacityMB: mb, Scale: scale}
+	}
+	specs := []DesignSpec{
+		spec(KindBaseline), spec(KindIdeal), spec(KindBlock), spec(KindHotPage),
+		spec("footprint+memcache:50"), spec("page+memlow:25"),
+		spec("footprint+banshee+memcache:25"),
+	}
+	for _, alloc := range AllocPolicies() {
+		for _, mapping := range MappingPolicies() {
+			for _, fill := range FillPolicies() {
+				specs = append(specs, DesignSpec{
+					Kind: alloc, Alloc: alloc, Mapping: mapping, Fill: fill,
+					PaperCapacityMB: mb, Scale: scale,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// snapTrace returns a fresh deterministic generator; every run gets
+// its own so no state leaks between the compared runs.
+func snapTrace(t *testing.T, scale float64) memtrace.Source {
+	t.Helper()
+	prof, err := synth.ByName(synth.WebSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := synth.NewGenerator(prof, 11, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// snapMeta is the run identity the parity tests stamp on snapshots;
+// it only has to be consistent between Snapshot and Restore.
+func snapMeta(warmup int) SnapshotMeta {
+	return SnapshotMeta{Workload: synth.WebSearch, Seed: 11, Scale: 1.0 / 64, WarmupRefs: warmup}
+}
+
+// runRestored warms one state, snapshots it, restores the snapshot
+// into a second freshly built design, and measures from there — the
+// checkpointed form of RunFunctionalResized.
+func runRestored(t *testing.T, spec DesignSpec, warmup, refs int, plan *ResizePlan) FunctionalResult {
+	t.Helper()
+	const scale = 1.0 / 64
+
+	warmDesign, err := BuildDesign(spec)
+	if err != nil {
+		t.Fatalf("BuildDesign(%+v): %v", spec, err)
+	}
+	warm := NewSimState(warmDesign)
+	warm.Warm(snapTrace(t, scale), warmup)
+	var buf bytes.Buffer
+	if err := warm.Snapshot(&buf, snapMeta(warmup)); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	design, err := BuildDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := NewSimState(design)
+	if err := state.Restore(bytes.NewReader(buf.Bytes()), snapMeta(warmup)); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	src := snapTrace(t, scale)
+	if skipped := memtrace.Skip(src, warmup); skipped != warmup {
+		t.Fatalf("skipped %d of %d warmup records", skipped, warmup)
+	}
+	return state.Measure(src, refs, plan)
+}
+
+// TestSnapshotParityAllCompositions is the tentpole's correctness bar:
+// for every design composition, restoring a warm-state snapshot and
+// measuring must reproduce the uninterrupted run's FunctionalResult
+// byte for byte.
+func TestSnapshotParityAllCompositions(t *testing.T) {
+	const (
+		scale  = 1.0 / 64
+		warmup = 20_000
+		refs   = 20_000
+	)
+	for _, spec := range snapshotSpecs() {
+		spec := spec
+		name := spec.Kind
+		if spec.Alloc != "" {
+			name = fmt.Sprintf("%s+%s+%s", spec.Alloc, spec.Mapping, spec.Fill)
+		}
+		t.Run(name, func(t *testing.T) {
+			design, err := BuildDesign(spec)
+			if err != nil {
+				t.Fatalf("BuildDesign: %v", err)
+			}
+			want := RunFunctional(design, snapTrace(t, scale), warmup, refs)
+			got := runRestored(t, spec, warmup, refs, nil)
+
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Errorf("restored run diverges\nuninterrupted: %s\nrestored:      %s", wantJSON, gotJSON)
+			}
+		})
+	}
+}
+
+// TestSnapshotParityResized pins the same equality when the measured
+// phase runs a partition resize schedule: the restored run must replay
+// resize transitions (flushes, migrations, purges) identically.
+func TestSnapshotParityResized(t *testing.T) {
+	const (
+		scale  = 1.0 / 64
+		warmup = 10_000
+		refs   = 12_000
+	)
+	plan := &ResizePlan{PeriodRefs: 3000, Fractions: []float64{0.25, 0.75}}
+	spec := DesignSpec{Kind: "footprint+memcache:50", PaperCapacityMB: 64, Scale: scale}
+
+	design, err := BuildDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RunFunctionalResized(design, snapTrace(t, scale), warmup, refs, plan)
+	got := runRestored(t, spec, warmup, refs, plan)
+
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("restored resized run diverges\nuninterrupted: %s\nrestored:      %s", wantJSON, gotJSON)
+	}
+	if want.Partition == nil || want.Partition.Resizes == 0 {
+		t.Fatalf("plan applied no resizes: %+v", want.Partition)
+	}
+}
+
+// TestSnapshotParityTiming pins warm-state reuse for the timing
+// simulator: restoring a snapshot and running with WarmupRefs=0 over
+// the fast-forwarded trace must equal the uninterrupted timing run.
+func TestSnapshotParityTiming(t *testing.T) {
+	const (
+		scale  = 1.0 / 64
+		warmup = 15_000
+		refs   = 10_000
+	)
+	for _, kind := range []string{KindFootprint, KindBlock, "footprint+banshee", "footprint+memcache:50"} {
+		spec := DesignSpec{Kind: kind, PaperCapacityMB: 64, Scale: scale}
+		cfg := TimingConfig{Cores: 8, MLP: 2, MaxRefs: refs}
+
+		d1, err := BuildDesign(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uncfg := cfg
+		uncfg.WarmupRefs = warmup
+		want := RunTiming(d1, snapTrace(t, scale), uncfg)
+
+		warmDesign, err := BuildDesign(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := NewSimState(warmDesign)
+		warm.Warm(snapTrace(t, scale), warmup)
+		var buf bytes.Buffer
+		if err := warm.Snapshot(&buf, snapMeta(warmup)); err != nil {
+			t.Fatal(err)
+		}
+
+		d2, err := BuildDesign(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := NewSimState(d2)
+		if err := state.Restore(bytes.NewReader(buf.Bytes()), snapMeta(warmup)); err != nil {
+			t.Fatalf("%s: Restore: %v", kind, err)
+		}
+		src := snapTrace(t, scale)
+		memtrace.Skip(src, warmup)
+		got := RunTiming(state.Design(), src, cfg)
+
+		wantJSON, _ := json.Marshal(want)
+		gotJSON, _ := json.Marshal(got)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Fatalf("%s: restored timing run diverges\nuninterrupted: %s\nrestored:      %s", kind, wantJSON, gotJSON)
+		}
+	}
+}
+
+// TestSnapshotRejectsWrongDesign pins validation: a snapshot restored
+// into a design built from a different spec must fail loudly.
+func TestSnapshotRejectsWrongDesign(t *testing.T) {
+	const scale = 1.0 / 64
+	mk := func(kind string) *SimState {
+		d, err := BuildDesign(DesignSpec{Kind: kind, PaperCapacityMB: 64, Scale: scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewSimState(d)
+	}
+	warm := mk(KindFootprint)
+	warm.Warm(snapTrace(t, scale), 5000)
+	var buf bytes.Buffer
+	if err := warm.Snapshot(&buf, snapMeta(5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(KindPage).Restore(bytes.NewReader(buf.Bytes()), snapMeta(5000)); err == nil {
+		t.Fatal("restoring a footprint snapshot into a page design succeeded")
+	}
+	// Mismatched run identity (different seed / warmup): must fail, not
+	// silently continue a different run's state.
+	other := snapMeta(5000)
+	other.Seed = 99
+	if err := mk(KindFootprint).Restore(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("restoring under a different seed succeeded")
+	}
+	if err := mk(KindFootprint).Restore(bytes.NewReader(buf.Bytes()), snapMeta(6000)); err == nil {
+		t.Fatal("restoring under a different warmup length succeeded")
+	}
+	// Truncated snapshot: must error, not restore partially in silence.
+	if err := mk(KindFootprint).Restore(bytes.NewReader(buf.Bytes()[:buf.Len()/2]), snapMeta(5000)); err == nil {
+		t.Fatal("restoring a truncated snapshot succeeded")
+	}
+}
+
+// TestWarmCacheRoundTrip exercises the content-keyed store: a miss,
+// then a hit that restores byte-identical state.
+func TestWarmCacheRoundTrip(t *testing.T) {
+	const scale = 1.0 / 64
+	spec := DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: scale}
+	key := WarmKey{Workload: synth.WebSearch, Seed: 11, Scale: scale, WarmupRefs: 10_000, Spec: spec}
+	cache, err := NewWarmCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d1, err := BuildDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewSimState(d1)
+	if hit, err := cache.Load(key, s1); err != nil || hit {
+		t.Fatalf("empty cache: hit=%v err=%v", hit, err)
+	}
+	s1.Warm(snapTrace(t, scale), 10_000)
+	if err := cache.Store(key, s1); err != nil {
+		t.Fatal(err)
+	}
+	want := s1.Measure(func() memtrace.Source {
+		src := snapTrace(t, scale)
+		memtrace.Skip(src, 10_000)
+		return src
+	}(), 10_000, nil)
+
+	d2, err := BuildDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSimState(d2)
+	hit, err := cache.Load(key, s2)
+	if err != nil || !hit {
+		t.Fatalf("warm cache: hit=%v err=%v", hit, err)
+	}
+	src := snapTrace(t, scale)
+	memtrace.Skip(src, 10_000)
+	got := s2.Measure(src, 10_000, nil)
+
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("cache-restored run diverges\nfirst:    %s\nrestored: %s", wantJSON, gotJSON)
+	}
+
+	// Different key material must miss.
+	other := WarmKey{Workload: synth.WebSearch, Seed: 12, Scale: scale, WarmupRefs: 10_000, Spec: spec}
+	if other.Hash() == key.Hash() {
+		t.Fatal("distinct seeds hashed to the same key")
+	}
+}

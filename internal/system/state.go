@@ -1,0 +1,208 @@
+package system
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fpcache/internal/core"
+	"fpcache/internal/dcache"
+	"fpcache/internal/dram"
+	"fpcache/internal/memtrace"
+	"fpcache/internal/snap"
+)
+
+// SimState bundles a design with its functional DRAM row trackers —
+// everything a functional run mutates — so warm state can be built
+// once, snapshotted, and restored, mirroring the paper's warmed
+// checkpoints (§5.4). RunFunctional is a thin wrapper over
+// NewSimState + Warm + Measure, so a restored state continues
+// byte-identically to an uninterrupted run by construction.
+//
+// A timing run shares the same warm state: RunTiming's functional
+// warmup performs exactly the Access sequence Warm does (the trackers
+// Warm additionally touches are not consulted by the timing
+// simulator), so one snapshot serves both simulation modes.
+type SimState struct {
+	design dcache.Design
+	offT   *dram.Tracker
+	stkT   *dram.Tracker
+	// ops is the run-wide scratch buffer: each Access appends into it
+	// and applyOps consumes it before the next reference, so the
+	// steady-state loop allocates nothing.
+	ops []dcache.Op
+}
+
+// warmStateKind is the snapshot envelope kind of a SimState.
+const warmStateKind = "fpcache-warmstate"
+
+// NewSimState builds the functional run state for a design, with DRAM
+// trackers configured per the design's policies.
+func NewSimState(design dcache.Design) *SimState {
+	offCfg, stkCfg := DRAMConfigsForDesign(design)
+	return &SimState{
+		design: design,
+		offT:   dram.NewTracker(offCfg),
+		stkT:   dram.NewTracker(stkCfg),
+	}
+}
+
+// Design returns the wrapped design.
+func (s *SimState) Design() dcache.Design { return s.design }
+
+// run drives up to n records (n <= 0 drains the source) through the
+// design, applying outcome operations to the trackers; with a non-nil
+// rz, the resize plan fires at measured-reference boundaries. Returns
+// the instruction count.
+func (s *SimState) run(src memtrace.Source, n int, plan *ResizePlan, rz Resizable) uint64 {
+	var refs, instrs uint64
+	resizeIdx := 0
+	for {
+		if n > 0 && refs >= uint64(n) {
+			break
+		}
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		refs++
+		instrs += uint64(rec.Gap) + 1
+		out := s.design.Access(rec, s.ops)
+		applyOps(out.Ops, s.offT, s.stkT)
+		s.ops = out.Ops
+		if rz != nil && refs%uint64(plan.PeriodRefs) == 0 {
+			s.ops = rz.Resize(plan.Fractions[resizeIdx%len(plan.Fractions)], s.ops[:0])
+			resizeIdx++
+			validateOps(s.design, s.ops, "resize transition")
+			applyOps(s.ops, s.offT, s.stkT)
+		}
+	}
+	return instrs
+}
+
+// Warm replays n records through the design and trackers without
+// measuring — the warmup phase of a functional or timing run, and the
+// state a snapshot captures.
+func (s *SimState) Warm(src memtrace.Source, n int) {
+	if n > 0 {
+		s.run(src, n, nil, nil)
+	}
+}
+
+// Measure runs up to maxRefs records (maxRefs <= 0 drains the source)
+// from the current state and returns the result, with all counters
+// relative to the state at entry. A non-nil plan schedules partition
+// resizes exactly as RunFunctionalResized documents.
+func (s *SimState) Measure(src memtrace.Source, maxRefs int, plan *ResizePlan) FunctionalResult {
+	rz, _ := s.design.(Resizable)
+	if !plan.valid() {
+		rz = nil
+	}
+	ctr0 := s.design.Counters()
+	off0, stk0 := s.offT.Stats, s.stkT.Stats
+	extra := footprintExtra(s.design)
+	var fp0 core.Stats
+	if extra != nil {
+		fp0 = extra()
+	}
+	part := partitionExtra(s.design)
+	var pt0 dcache.PartitionStats
+	if part != nil {
+		pt0 = part()
+	}
+
+	res := FunctionalResult{Design: s.design.Name()}
+	res.Instructions = s.run(src, maxRefs, plan, rz)
+	res.Counters = s.design.Counters().Sub(ctr0)
+	res.Refs = res.Counters.Accesses()
+	res.OffChip = s.offT.Stats.Sub(off0)
+	res.Stacked = s.stkT.Stats.Sub(stk0)
+	if extra != nil {
+		st := extra().Sub(fp0)
+		res.Footprint = &st
+	}
+	if part != nil {
+		st := part().Sub(pt0)
+		res.Partition = &st
+	}
+	return res
+}
+
+// SnapshotMeta identifies the run a warm state was built from:
+// everything outside the design spec that determines post-warmup
+// state. Restore requires an exact match, so a snapshot taken under
+// one (workload, seed, scale, warmup) can never silently continue a
+// different run — the same guarantee WarmCache gets from its content
+// key, enforced inside the snapshot itself for manual checkpoint
+// files (fpsim -checkpoint/-restore).
+type SnapshotMeta struct {
+	// Workload names the trace source (a label for replayed trace
+	// files; the generator profile for synthetic runs).
+	Workload string
+	// Seed and Scale pin the generated reference stream.
+	Seed  int64
+	Scale float64
+	// WarmupRefs is the warmup prefix length the state consumed.
+	WarmupRefs int
+}
+
+// Snapshot serializes the complete warm state — run identity, design,
+// and DRAM trackers — as one versioned envelope. The design must
+// support snapshots (every design BuildDesign produces does).
+func (s *SimState) Snapshot(w io.Writer, meta SnapshotMeta) error {
+	ds, ok := s.design.(dcache.DesignState)
+	if !ok {
+		return fmt.Errorf("system: design %q does not support snapshots", s.design.Name())
+	}
+	return snap.WriteEnvelope(w, warmStateKind, dcache.SnapshotVersion, func(sw *snap.Writer) {
+		sw.String(s.design.Name())
+		sw.String(meta.Workload)
+		sw.I64(meta.Seed)
+		sw.U64(math.Float64bits(meta.Scale))
+		sw.I64(int64(meta.WarmupRefs))
+		ds.SaveState(sw)
+		s.offT.Save(sw)
+		s.stkT.Save(sw)
+	})
+}
+
+// Restore replaces the state with a snapshot written by Snapshot. The
+// state must have been freshly built from the same design spec, and
+// want must match the snapshot's run identity exactly; the envelope
+// version, design name, and every component geometry are validated
+// besides.
+func (s *SimState) Restore(r io.Reader, want SnapshotMeta) error {
+	ds, ok := s.design.(dcache.DesignState)
+	if !ok {
+		return fmt.Errorf("system: design %q does not support snapshots", s.design.Name())
+	}
+	return snap.ReadEnvelope(r, warmStateKind, dcache.SnapshotVersion, func(sr *snap.Reader) error {
+		if name := sr.String(); sr.Err() == nil && name != s.design.Name() {
+			return fmt.Errorf("system: snapshot of design %q, want %q", name, s.design.Name())
+		}
+		got := SnapshotMeta{Workload: sr.String(), Seed: sr.I64()}
+		got.Scale = math.Float64frombits(sr.U64())
+		got.WarmupRefs = int(sr.I64())
+		if sr.Err() == nil && got != want {
+			return fmt.Errorf("system: snapshot of run %+v, want %+v", got, want)
+		}
+		if err := ds.LoadState(sr); err != nil {
+			return err
+		}
+		if err := s.offT.Load(sr); err != nil {
+			return err
+		}
+		return s.stkT.Load(sr)
+	})
+}
+
+// validateOps fails loudly on a structurally invalid operation list —
+// a malformed outcome DAG would otherwise deadlock the timing
+// simulator's dispatch (see dispatchOps) and silently strand pooled
+// buffers. A design emitting one is a programming error, so this
+// panics rather than threading errors through both runners.
+func validateOps(design dcache.Design, ops []dcache.Op, what string) {
+	if err := dcache.ValidateOps(ops); err != nil {
+		panic(fmt.Sprintf("system: design %q emitted an invalid %s op list: %v", design.Name(), what, err))
+	}
+}

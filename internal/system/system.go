@@ -137,76 +137,14 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 // operations (writebacks, migrations) are accounted like any other
 // traffic. A nil plan, or a design that is not Resizable, degrades to
 // a plain functional run.
+//
+// The warmup/measure split is SimState's Warm and Measure, so a run
+// restored from a warm-state snapshot (SimState.Restore) continues
+// byte-identically to this uninterrupted form.
 func RunFunctionalResized(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int, plan *ResizePlan) FunctionalResult {
-	offCfg, stkCfg := DRAMConfigsForDesign(design)
-	offT := dram.NewTracker(offCfg)
-	stkT := dram.NewTracker(stkCfg)
-
-	rz, _ := design.(Resizable)
-	if !plan.valid() {
-		rz = nil
-	}
-	resizeIdx := 0
-
-	// One ops scratch buffer serves the whole run: each Access appends
-	// into it and applyOps consumes it before the next reference, so
-	// the steady-state loop allocates nothing.
-	var ops []dcache.Op
-	run := func(n int, resize bool) uint64 {
-		var refs, instrs uint64
-		for {
-			if n > 0 && refs >= uint64(n) {
-				break
-			}
-			rec, ok := src.Next()
-			if !ok {
-				break
-			}
-			refs++
-			instrs += uint64(rec.Gap) + 1
-			out := design.Access(rec, ops)
-			applyOps(out.Ops, offT, stkT)
-			ops = out.Ops
-			if resize && rz != nil && refs%uint64(plan.PeriodRefs) == 0 {
-				ops = rz.Resize(plan.Fractions[resizeIdx%len(plan.Fractions)], ops[:0])
-				resizeIdx++
-				applyOps(ops, offT, stkT)
-			}
-		}
-		return instrs
-	}
-
-	if warmupRefs > 0 {
-		run(warmupRefs, false)
-	}
-	ctr0 := design.Counters()
-	off0, stk0 := offT.Stats, stkT.Stats
-	extra := footprintExtra(design)
-	var fp0 core.Stats
-	if extra != nil {
-		fp0 = extra()
-	}
-	part := partitionExtra(design)
-	var pt0 dcache.PartitionStats
-	if part != nil {
-		pt0 = part()
-	}
-
-	res := FunctionalResult{Design: design.Name()}
-	res.Instructions = run(maxRefs, true)
-	res.Counters = design.Counters().Sub(ctr0)
-	res.Refs = res.Counters.Accesses()
-	res.OffChip = offT.Stats.Sub(off0)
-	res.Stacked = stkT.Stats.Sub(stk0)
-	if extra != nil {
-		s := extra().Sub(fp0)
-		res.Footprint = &s
-	}
-	if part != nil {
-		s := part().Sub(pt0)
-		res.Partition = &s
-	}
-	return res
+	s := NewSimState(design)
+	s.Warm(src, warmupRefs)
+	return s.Measure(src, maxRefs, plan)
 }
 
 // partitionExtra locates the partition statistics of a design, nil

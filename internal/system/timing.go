@@ -60,6 +60,12 @@ type TimingResult struct {
 	ReadLatencyP99 float64
 	// StallCycles sums per-core full-window stalls.
 	StallCycles uint64
+	// QueueHighWater is the run's high-water mark of records buffered
+	// across the demux's per-core queues. Pinning functional state
+	// transitions to trace order means a core-skewed trace buffers the
+	// skew (each queued record holding a pooled ops buffer); this
+	// reports that memory cost instead of leaving it unmeasured.
+	QueueHighWater uint64
 	// Partition carries partition statistics when the design
 	// partitions its stacked capacity, nil otherwise.
 	Partition *dcache.PartitionStats
@@ -116,13 +122,23 @@ type timedRec struct {
 // remainder of the trace up front, holding one ops buffer per queued
 // record. Synthetic workloads interleave cores evenly, so queues stay
 // shallow; a pathologically skewed replayed trace costs memory
-// proportional to the skew, never correctness.
+// proportional to the skew, never correctness. The queued/highWater
+// counters measure that cost per run (TimingResult.QueueHighWater).
 type demux struct {
 	src    memtrace.Source
 	design dcache.Design
 	queues [][]timedRec
 	left   int
 	done   bool
+
+	// queued is the current total of buffered records across queues;
+	// highWater its run maximum.
+	queued    int
+	highWater int
+	// validated counts the outcome DAGs checked so far; the first
+	// validateOutcomes outcomes per run are verified structurally so a
+	// malformed design fails loudly instead of deadlocking dispatch.
+	validated int
 
 	// Partition resize driver: when plan and rz are set, every
 	// plan.PeriodRefs drained references the split moves to the next
@@ -160,6 +176,7 @@ func (d *demux) pull(core int) (timedRec, bool) {
 		if q := d.queues[core]; len(q) > 0 {
 			tr := q[0]
 			d.queues[core] = q[1:]
+			d.queued--
 			return tr, true
 		}
 		if d.done || d.left <= 0 {
@@ -172,23 +189,38 @@ func (d *demux) pull(core int) (timedRec, bool) {
 		}
 		d.left--
 		res := d.design.Access(rec, d.scratch)
+		if d.validated < validateOutcomes {
+			d.validated++
+			validateOps(d.design, res.Ops, "outcome")
+		}
 		d.scratch = res.Ops
 		ops := d.getOps(len(res.Ops))
 		copy(ops, res.Ops)
 		c := int(rec.Core) % len(d.queues)
 		d.queues[c] = append(d.queues[c], timedRec{rec: rec, out: outcome{ops: ops, tagCycles: res.TagCycles}})
+		if d.queued++; d.queued > d.highWater {
+			d.highWater = d.queued
+		}
 		d.drained++
 		if d.rz != nil && d.drained%d.plan.PeriodRefs == 0 {
 			// The boundary reference's Access already copied its ops
 			// out of scratch, so the resize can reuse it.
 			d.scratch = d.rz.Resize(d.plan.Fractions[d.resizeIdx%len(d.plan.Fractions)], d.scratch[:0])
 			d.resizeIdx++
+			validateOps(d.design, d.scratch, "resize transition")
 			buf := d.getOps(len(d.scratch))
 			copy(buf, d.scratch)
 			d.onResize(buf)
 		}
 	}
 }
+
+// validateOutcomes is how many leading outcome DAGs a timing run
+// structurally validates: enough to catch a systematically malformed
+// design (miss, hit, evict, and bypass paths all appear within the
+// first few dozen references of every workload) without taxing the
+// steady-state hot path.
+const validateOutcomes = 64
 
 // getOps takes a buffer of length n from the pool, or allocates one.
 func (d *demux) getOps(n int) []dcache.Op {
@@ -317,6 +349,7 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 		res.StallCycles += c.StallCycles
 	}
 	res.Cycles = uint64(eng.Now())
+	res.QueueHighWater = uint64(dm.highWater)
 	res.Counters = design.Counters().Sub(ctr0)
 	res.OffChip = offC.Stats
 	res.Stacked = stkC.Stats

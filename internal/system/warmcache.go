@@ -1,0 +1,117 @@
+package system
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fpcache/internal/dcache"
+)
+
+// WarmCache is a content-keyed store of warm-state snapshots: one file
+// per (workload, seed, scale, design spec, warmup length) point. The
+// paper's methodology simulates from warmed checkpoints (§5.4); the
+// cache makes every experiment after the first restore a point's warm
+// state in milliseconds instead of re-paying the warmup references —
+// which is what lets a full RunAll sweep re-run cheaply while results
+// stay byte-identical (snapshot restore is exact by construction).
+type WarmCache struct {
+	dir string
+}
+
+// NewWarmCache opens (creating if needed) a snapshot cache directory.
+func NewWarmCache(dir string) (*WarmCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("system: warm cache needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("system: creating warm cache: %w", err)
+	}
+	return &WarmCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *WarmCache) Dir() string { return c.dir }
+
+// WarmKey identifies a warm state: everything that determines the
+// functional state after the warmup prefix. Two runs with equal keys
+// have byte-identical warm state, whatever experiment asked for them.
+type WarmKey struct {
+	// Workload, Seed, and Scale pin the generated reference stream.
+	Workload string
+	Seed     int64
+	Scale    float64
+	// WarmupRefs is the warmup prefix length.
+	WarmupRefs int
+	// Spec is the design configuration (all fields participate).
+	Spec DesignSpec
+}
+
+// Hash derives the cache key. The snapshot format version is part of
+// the key material, so a format bump simply misses old entries instead
+// of tripping over them.
+func (k WarmKey) Hash() string {
+	s := k.Spec.withDefaults()
+	h := sha256.New()
+	fmt.Fprintf(h, "snap=%d|wl=%s|seed=%d|scale=%g|warm=%d|", dcache.SnapshotVersion, k.Workload, k.Seed, k.Scale, k.WarmupRefs)
+	fmt.Fprintf(h, "kind=%s|mb=%d|dscale=%g|alloc=%s|map=%s|fill=%s|part=%s|page=%d|fht=%d|ways=%d",
+		s.Kind, s.PaperCapacityMB, s.Scale, s.Alloc, s.Mapping, s.Fill, s.Partition, s.PageBytes, s.FHTEntries, s.Ways)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Meta returns the run-identity metadata stored inside (and validated
+// against) the snapshot itself — defense in depth behind the content
+// key.
+func (k WarmKey) Meta() SnapshotMeta {
+	return SnapshotMeta{Workload: k.Workload, Seed: k.Seed, Scale: k.Scale, WarmupRefs: k.WarmupRefs}
+}
+
+// path returns the snapshot file for a key.
+func (c *WarmCache) path(key WarmKey) string {
+	return filepath.Join(c.dir, key.Hash()+".warm")
+}
+
+// Load restores the snapshot for key into s, reporting whether one
+// existed. A present-but-unreadable snapshot is an error (restore may
+// have partially mutated s), never a silent miss.
+func (c *WarmCache) Load(key WarmKey, s *SimState) (bool, error) {
+	f, err := os.Open(c.path(key))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if err := s.Restore(f, key.Meta()); err != nil {
+		return false, fmt.Errorf("system: restoring warm state %s: %w", c.path(key), err)
+	}
+	return true, nil
+}
+
+// Store writes s's snapshot for key, atomically (write to a temp file,
+// rename into place) so concurrent writers of the same key cannot
+// expose a torn snapshot.
+func (c *WarmCache) Store(key WarmKey, s *SimState) error {
+	f, err := os.CreateTemp(c.dir, key.Hash()+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := s.Snapshot(f, key.Meta()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("system: writing warm state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, c.path(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
