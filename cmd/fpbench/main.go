@@ -9,6 +9,9 @@
 //	fpbench -j 8                 # sweep simulation points on 8 workers
 //	fpbench -json out.json       # machine-readable rows + wall-clock
 //	fpbench -state-cache .warm   # warm each point once, restore thereafter
+//	fpbench -state-cache .warm -state-cache-max 1073741824
+//	fpbench -max-retries 2 -point-timeout 5m -tolerate
+//	fpbench -fault-spec 'point:transient:fails=1' -max-retries 2
 //
 // Simulation points fan out over a worker pool (internal/sweep);
 // results are gathered in declaration order, so output is
@@ -17,6 +20,14 @@
 // -json, typed rows and per-experiment wall-clock are written to the
 // given file instead of rendering text tables — the seed of the
 // BENCH_*.json perf trajectory.
+//
+// The fault-tolerance flags (-max-retries, -point-timeout, -tolerate)
+// switch sweeps to the tolerant executor (DESIGN.md §10): point panics
+// are isolated, retryable faults retry with exponential backoff, and
+// every fault an experiment absorbed lands in its failure report
+// (included per experiment in the -json output). -fault-spec injects
+// scheduled faults (internal/faultinject) to exercise that machinery
+// end to end.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"time"
 
 	"fpcache/internal/experiments"
+	"fpcache/internal/faultinject"
 	"fpcache/internal/sweep"
 )
 
@@ -44,6 +56,11 @@ func main() {
 		caps      = flag.String("capacities", "", "comma-separated paper-scale capacities in MB (default: 64,128,256,512)")
 		jsonOut   = flag.String("json", "", "write machine-readable rows + per-experiment wall-clock to this file")
 		stateDir  = flag.String("state-cache", "", "directory of content-keyed warm-state snapshots: each (workload, design, capacity) point warms once and later runs restore it (results byte-identical)")
+		stateMax  = flag.Int64("state-cache-max", 0, "cap the state cache's total size in bytes, evicting oldest entries first (0 = unlimited)")
+		retries   = flag.Int("max-retries", 0, "retry a simulation point up to N times on retryable faults (transient I/O), with exponential backoff")
+		timeout   = flag.Duration("point-timeout", 0, "per-attempt deadline for each simulation point (0 = none)")
+		tolerate  = flag.Bool("tolerate", false, "keep an experiment's surviving rows when points fail for good (failed cells degrade to zero and land in the failure report)")
+		faultSpec = flag.String("fault-spec", "", "inject scheduled faults, e.g. 'point:transient:fails=1;snapshot-read:flipbit:offset=40' (testing the fault tolerance itself)")
 		workers   int
 	)
 	flag.IntVar(&workers, "j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
@@ -58,14 +75,29 @@ func main() {
 	}
 
 	o := experiments.Options{
-		Scale:      *scale,
-		Refs:       *refs,
-		WarmupRefs: *warmup,
-		TimingRefs: *timing,
-		Seed:       *seed,
-		StateCache: *stateDir,
+		Scale:              *scale,
+		Refs:               *refs,
+		WarmupRefs:         *warmup,
+		TimingRefs:         *timing,
+		Seed:               *seed,
+		StateCache:         *stateDir,
+		StateCacheMaxBytes: *stateMax,
+		PointTimeout:       *timeout,
+		Tolerate:           *tolerate,
 		// Options treats 0 as serial; the CLI treats 0 as "all cores".
 		Workers: sweep.Workers(workers),
+	}
+	if *retries > 0 {
+		o.MaxAttempts = *retries + 1
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if *faultSpec != "" {
+		inj, err := faultinject.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench:", err)
+			os.Exit(2)
+		}
+		o.Injector = inj
 	}
 	if *workloads != "" {
 		o.Workloads = strings.Split(*workloads, ",")
@@ -111,6 +143,10 @@ type jsonExperiment struct {
 	Name    string  `json:"name"`
 	Seconds float64 `json:"seconds"`
 	Rows    any     `json:"rows"`
+	// Failures is the experiment's failure report: every fault the
+	// tolerant executor absorbed (panics, retries, timeouts, quarantined
+	// cache entries) with its disposition. Omitted on a clean run.
+	Failures []experiments.Failure `json:"failures,omitempty"`
 }
 
 // jsonReport is the -json file layout: run configuration,
@@ -131,13 +167,21 @@ func runJSON(names []string, o experiments.Options, path string) error {
 	total := time.Now()
 	for _, name := range names {
 		start := time.Now()
-		rows, err := experiments.Rows(name, o)
+		rows, failures, err := experiments.RowsWithReport(name, o)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		dt := time.Since(start).Seconds()
-		report.Experiments = append(report.Experiments, jsonExperiment{Name: name, Seconds: dt, Rows: rows})
-		fmt.Printf("%-10s %8.2fs\n", name, dt)
+		exp := jsonExperiment{Name: name, Seconds: dt, Rows: rows}
+		if failures != nil {
+			exp.Failures = failures.Failures
+		}
+		report.Experiments = append(report.Experiments, exp)
+		if n := len(exp.Failures); n > 0 {
+			fmt.Printf("%-10s %8.2fs  (%d faults absorbed)\n", name, dt, n)
+		} else {
+			fmt.Printf("%-10s %8.2fs\n", name, dt)
+		}
 	}
 	report.TotalSeconds = time.Since(total).Seconds()
 

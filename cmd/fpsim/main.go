@@ -29,7 +29,17 @@
 //	fpsim -design footprint -checkpoint warm.snap
 //	fpsim -design footprint -restore warm.snap
 //	fpsim -design footprint+memcache:50 -resize 0.25,0.75 -resize-every 250000
+//	fpsim -max-retries 2 -point-timeout 5m
+//	fpsim -fault-spec 'trace-read:flipbit:offset=64' -trace-in run.trace
 //	fpsim -list
+//
+// The fault-tolerance flags switch the sweep to the tolerant executor
+// (DESIGN.md §10): point panics are isolated, retryable faults retry
+// with exponential backoff, -point-timeout bounds each attempt, and
+// faulted points are reported on stderr (exit status 1 if any failed
+// for good) while surviving points still print. -fault-spec injects
+// scheduled faults — point failures and trace-read stream corruption —
+// to exercise that machinery.
 package main
 
 import (
@@ -40,8 +50,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"fpcache"
+	"fpcache/internal/faultinject"
 	"fpcache/internal/memtrace"
 	"fpcache/internal/sweep"
 	"fpcache/internal/system"
@@ -49,22 +61,25 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", fpcache.WebSearch, "workload name(s), comma-separated")
-		design   = flag.String("design", string(fpcache.Footprint), "cache design(s) or composite policy spec(s), comma-separated")
-		capMB    = flag.String("capacity", "256", "paper-scale capacity list in MB, comma-separated")
-		scale    = flag.Float64("scale", fpcache.DefaultScale, "capacity scale factor")
-		refs     = flag.Int("refs", 1_000_000, "measured references")
-		warmup   = flag.Int("warmup", 0, "warmup references (default: same as -refs)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		mode     = flag.String("mode", "functional", "simulation mode: functional or timing")
-		resize   = flag.String("resize", "", "comma-separated memory fractions cycled by the partition resize driver (partitioned designs, e.g. 0.25,0.75)")
-		resizeN  = flag.Int("resize-every", 0, "resize cadence in measured references (requires -resize)")
-		workers  = flag.Int("j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
-		traceOut = flag.String("trace-out", "", "record the reference stream to this trace file (functional mode, single point)")
-		traceIn  = flag.String("trace-in", "", "replay a recorded trace file instead of the generator (functional mode)")
-		checkpt  = flag.String("checkpoint", "", "write the post-warmup warm-state snapshot to this file, then measure (functional mode, single point)")
-		restore  = flag.String("restore", "", "restore the warm state from this snapshot instead of simulating warmup (functional mode, single point)")
-		list     = flag.Bool("list", false, "list workload, design, and policy names and exit")
+		workload  = flag.String("workload", fpcache.WebSearch, "workload name(s), comma-separated")
+		design    = flag.String("design", string(fpcache.Footprint), "cache design(s) or composite policy spec(s), comma-separated")
+		capMB     = flag.String("capacity", "256", "paper-scale capacity list in MB, comma-separated")
+		scale     = flag.Float64("scale", fpcache.DefaultScale, "capacity scale factor")
+		refs      = flag.Int("refs", 1_000_000, "measured references")
+		warmup    = flag.Int("warmup", 0, "warmup references (default: same as -refs)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		mode      = flag.String("mode", "functional", "simulation mode: functional or timing")
+		resize    = flag.String("resize", "", "comma-separated memory fractions cycled by the partition resize driver (partitioned designs, e.g. 0.25,0.75)")
+		resizeN   = flag.Int("resize-every", 0, "resize cadence in measured references (requires -resize)")
+		workers   = flag.Int("j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
+		traceOut  = flag.String("trace-out", "", "record the reference stream to this trace file (functional mode, single point)")
+		traceIn   = flag.String("trace-in", "", "replay a recorded trace file instead of the generator (functional mode)")
+		checkpt   = flag.String("checkpoint", "", "write the post-warmup warm-state snapshot to this file, then measure (functional mode, single point)")
+		restore   = flag.String("restore", "", "restore the warm state from this snapshot instead of simulating warmup (functional mode, single point)")
+		retries   = flag.Int("max-retries", 0, "retry a simulation point up to N times on retryable faults (transient I/O), with exponential backoff")
+		timeout   = flag.Duration("point-timeout", 0, "per-attempt deadline for each simulation point (0 = none)")
+		faultSpec = flag.String("fault-spec", "", "inject scheduled faults, e.g. 'point:transient:fails=1;trace-read:flipbit:offset=64' (testing the fault tolerance itself)")
+		list      = flag.Bool("list", false, "list workload, design, and policy names and exit")
 	)
 	flag.Parse()
 
@@ -90,6 +105,14 @@ func main() {
 	}
 	if (*checkpt != "" || *restore != "") && *traceOut != "" {
 		fail(fmt.Errorf("-checkpoint/-restore do not combine with -trace-out"))
+	}
+
+	var inj *faultinject.Injector
+	if *faultSpec != "" {
+		var err error
+		if inj, err = faultinject.Parse(*faultSpec); err != nil {
+			fail(err)
+		}
 	}
 
 	var fractions []float64
@@ -146,7 +169,7 @@ func main() {
 		fail(fmt.Errorf("-checkpoint/-restore address one run's warm state; got %d simulation points", len(pts)))
 	}
 
-	reports, err := sweep.Map(*workers, len(pts), func(i int) (string, error) {
+	job := func(i int) (string, error) {
 		p := pts[i]
 		cfg := fpcache.Config{
 			Workload:         p.workload,
@@ -164,9 +187,9 @@ func main() {
 			var res fpcache.FunctionalResult
 			var err error
 			if *checkpt != "" || *restore != "" {
-				res, err = runWarmStatePoint(cfg, *traceIn, *checkpt, *restore)
+				res, err = runWarmStatePoint(cfg, *traceIn, *checkpt, *restore, inj)
 			} else {
-				res, err = runFunctionalPoint(cfg, *traceIn, *traceOut)
+				res, err = runFunctionalPoint(cfg, *traceIn, *traceOut, inj)
 			}
 			if err != nil {
 				return "", err
@@ -180,15 +203,61 @@ func main() {
 			printTiming(&buf, cfg, res)
 		}
 		return buf.String(), nil
-	})
-	if err != nil {
-		fail(err)
 	}
-	for i, rep := range reports {
-		if i > 0 {
+
+	var reports []string
+	failed := false
+	if inj.Active() || *retries > 0 || *timeout > 0 {
+		// Tolerant sweep: isolate, retry, and report instead of aborting
+		// the whole cross product on the first faulted point.
+		wrapped := job
+		if inj.Active() {
+			seq := inj.NextSweep()
+			wrapped = func(i int) (string, error) {
+				if err := inj.Point(seq, i); err != nil {
+					return "", err
+				}
+				return job(i)
+			}
+		}
+		pol := sweep.Policy{Timeout: *timeout, Seed: *seed}
+		if *retries > 0 {
+			pol.MaxAttempts = *retries + 1
+			pol.Backoff = 100 * time.Millisecond
+		}
+		var pointReports []sweep.PointReport
+		reports, pointReports = sweep.MapTolerant(*workers, len(pts), pol, wrapped)
+		for _, r := range pointReports {
+			p := pts[r.Index]
+			if r.Err != nil {
+				failed = true
+				fmt.Fprintf(os.Stderr, "fpsim: %s/%s/%dMB failed after %d attempt(s) [%s]: %v\n",
+					p.workload, p.design, p.capMB, r.Attempts, r.Class, r.Err)
+			} else {
+				fmt.Fprintf(os.Stderr, "fpsim: %s/%s/%dMB recovered after %d attempts\n",
+					p.workload, p.design, p.capMB, r.Attempts)
+			}
+		}
+	} else {
+		var err error
+		reports, err = sweep.Map(*workers, len(pts), job)
+		if err != nil {
+			fail(err)
+		}
+	}
+	first := true
+	for _, rep := range reports {
+		if rep == "" { // a faulted point's slot; already reported above
+			continue
+		}
+		if !first {
 			fmt.Println()
 		}
+		first = false
 		fmt.Print(rep)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
@@ -217,7 +286,7 @@ func (t *teeSource) Next() (memtrace.Record, bool) {
 // recording it to one (traceOut). A recorded file contains the whole
 // stream — warmup prefix included — so a replay with the same
 // -warmup/-refs split reproduces the run bit-identically.
-func runFunctionalPoint(cfg fpcache.Config, traceIn, traceOut string) (fpcache.FunctionalResult, error) {
+func runFunctionalPoint(cfg fpcache.Config, traceIn, traceOut string, inj *faultinject.Injector) (fpcache.FunctionalResult, error) {
 	switch {
 	case traceIn != "":
 		f, err := os.Open(traceIn)
@@ -225,7 +294,7 @@ func runFunctionalPoint(cfg fpcache.Config, traceIn, traceOut string) (fpcache.F
 			return fpcache.FunctionalResult{}, err
 		}
 		defer f.Close()
-		r := memtrace.NewReader(f)
+		r := memtrace.NewReader(inj.Reader(faultinject.SiteTraceRead, f))
 		res, err := fpcache.RunFunctionalSource(cfg, r)
 		if err == nil {
 			err = r.Err()
@@ -286,7 +355,7 @@ func effectiveWarmup(cfg fpcache.Config) int {
 // stores the run identity (workload, seed, scale, warmup), so a
 // restore under different flags fails instead of silently measuring a
 // different run.
-func runWarmStatePoint(cfg fpcache.Config, traceIn, checkpoint, restore string) (fpcache.FunctionalResult, error) {
+func runWarmStatePoint(cfg fpcache.Config, traceIn, checkpoint, restore string, inj *faultinject.Injector) (fpcache.FunctionalResult, error) {
 	design, err := fpcache.NewDesign(cfg)
 	if err != nil {
 		return fpcache.FunctionalResult{}, err
@@ -301,7 +370,7 @@ func runWarmStatePoint(cfg fpcache.Config, traceIn, checkpoint, restore string) 
 		defer f.Close()
 		// The seekable reader lets a restore fast-forward warmup via
 		// the v2 chunk index (or v1 arithmetic) instead of decoding it.
-		r, err := memtrace.NewFileReader(f)
+		r, err := memtrace.NewFileReader(inj.ReadSeeker(faultinject.SiteTraceRead, f))
 		if err != nil {
 			return fpcache.FunctionalResult{}, err
 		}
@@ -330,7 +399,9 @@ func runWarmStatePoint(cfg fpcache.Config, traceIn, checkpoint, restore string) 
 			return fpcache.FunctionalResult{}, fmt.Errorf("trace exhausted after %d of %d warmup records", skipped, warmup)
 		}
 	} else {
-		state.Warm(src, warmup)
+		if err := state.Warm(src, warmup); err != nil {
+			return fpcache.FunctionalResult{}, err
+		}
 		f, err := os.Create(checkpoint)
 		if err != nil {
 			return fpcache.FunctionalResult{}, err
@@ -348,7 +419,10 @@ func runWarmStatePoint(cfg fpcache.Config, traceIn, checkpoint, restore string) 
 	if cfg.ResizePeriodRefs > 0 && len(cfg.ResizeFractions) > 0 {
 		plan = &system.ResizePlan{PeriodRefs: cfg.ResizePeriodRefs, Fractions: cfg.ResizeFractions}
 	}
-	res := state.Measure(src, cfg.Refs, plan)
+	res, err := state.Measure(src, cfg.Refs, plan)
+	if err != nil {
+		return res, err
+	}
 	if srcErr != nil {
 		if err := srcErr(); err != nil {
 			return res, err

@@ -29,15 +29,15 @@ func TestTraceRoundTrip(t *testing.T) {
 	cfg := testConfig()
 	path := filepath.Join(t.TempDir(), "run.trace")
 
-	live, err := runFunctionalPoint(cfg, "", "")
+	live, err := runFunctionalPoint(cfg, "", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	recorded, err := runFunctionalPoint(cfg, "", path)
+	recorded, err := runFunctionalPoint(cfg, "", path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	replayed, err := runFunctionalPoint(cfg, path, "")
+	replayed, err := runFunctionalPoint(cfg, path, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +83,11 @@ func TestTraceRoundTrip(t *testing.T) {
 func TestTraceReplayAcrossDesigns(t *testing.T) {
 	cfg := testConfig()
 	path := filepath.Join(t.TempDir(), "run.trace")
-	if _, err := runFunctionalPoint(cfg, "", path); err != nil {
+	if _, err := runFunctionalPoint(cfg, "", path, nil); err != nil {
 		t.Fatal(err)
 	}
 	cfg.Design = fpcache.FootprintBanshee
-	res, err := runFunctionalPoint(cfg, path, "")
+	res, err := runFunctionalPoint(cfg, path, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestTraceReplayRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a trace file at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runFunctionalPoint(testConfig(), path, ""); err == nil {
+	if _, err := runFunctionalPoint(testConfig(), path, "", nil); err == nil {
 		t.Fatal("garbage trace accepted")
 	}
 }

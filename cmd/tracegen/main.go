@@ -7,13 +7,17 @@
 // independently decodable, CRC-protected chunks with a trailing chunk
 // index, which seekable readers (memtrace.FileReader, fpsim -restore
 // fast-forwarding) use to jump to any record without decoding the
-// prefix. -index inspects an existing trace file of either version.
+// prefix. -index inspects an existing trace file of either version;
+// -verify is the trace fsck — it walks every chunk (CRC, framing, full
+// record decode, index agreement) and exits non-zero naming the first
+// corrupt chunk and offset.
 //
 // Usage:
 //
 //	tracegen -workload mapreduce -refs 5000000 -o mapreduce.trace
 //	tracegen -workload mapreduce -refs 5000000 -v2 -o mapreduce.trace
 //	tracegen -index mapreduce.trace
+//	tracegen -verify mapreduce.trace
 package main
 
 import (
@@ -34,12 +38,19 @@ func main() {
 		v2       = flag.Bool("v2", false, "write trace format v2 (chunked, delta-compressed, seekable)")
 		chunk    = flag.Int("chunk", memtrace.DefaultChunkRecords, "records per v2 chunk")
 		index    = flag.String("index", "", "print the chunk index of an existing trace file and exit")
+		verify   = flag.String("verify", "", "verify an existing trace file (chunk CRCs, framing, index) and exit")
 		out      = flag.String("o", "", "output file (required)")
 	)
 	flag.Parse()
 
 	if *index != "" {
 		if err := printIndex(*index); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *verify != "" {
+		if err := verifyTrace(*verify); err != nil {
 			fail(err)
 		}
 		return
@@ -135,6 +146,28 @@ func printIndex(path string) error {
 	for i := range offsets {
 		fmt.Printf("%6d %12d %12d %10d\n", i, offsets[i], starts[i], counts[i])
 	}
+	return nil
+}
+
+// verifyTrace runs the full-file integrity scan and reports the
+// verdict; any corruption (first bad chunk and offset) comes back as
+// an error, which fail() turns into a non-zero exit.
+func verifyTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fr, err := memtrace.NewFileReader(f)
+	if err != nil {
+		return err
+	}
+	if err := fr.Verify(); err != nil {
+		return err
+	}
+	offsets, _, _ := fr.Chunks()
+	fmt.Printf("%s: ok — format v%d, %d records, %d chunks verified\n",
+		path, fr.Version(), fr.Len(), len(offsets))
 	return nil
 }
 

@@ -69,7 +69,10 @@ func main() {
 			log.Fatal(err)
 		}
 		var rd memtrace.Source = memtrace.NewReader(rf)
-		res := system.RunFunctional(design, rd, refs/2, refs/2)
+		res, err := system.RunFunctional(design, rd, refs/2, refs/2)
+		if err != nil {
+			log.Fatal(err)
+		}
 		rf.Close()
 		fmt.Printf("%-10s hit=%5.1f%%  off-chip bytes/ref=%6.1f  dirty evictions=%d\n",
 			kind, 100*res.Counters.HitRatio(), res.OffChipBytesPerRef(), res.Counters.DirtyEvicts)

@@ -283,7 +283,7 @@ func RunFunctionalSource(c Config, src memtrace.Source) (system.FunctionalResult
 	if err != nil {
 		return system.FunctionalResult{}, err
 	}
-	return system.RunFunctionalResized(d, src, c.WarmupRefs, c.Refs, c.resizePlan()), nil
+	return system.RunFunctionalResized(d, src, c.WarmupRefs, c.Refs, c.resizePlan())
 }
 
 // RunTiming executes an event-driven timing simulation.
@@ -306,5 +306,5 @@ func RunTiming(c Config) (system.TimingResult, error) {
 		WarmupRefs: c.WarmupRefs,
 		MaxRefs:    c.Refs,
 		Resize:     c.resizePlan(),
-	}), nil
+	})
 }

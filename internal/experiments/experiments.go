@@ -18,8 +18,13 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
+	"time"
 
 	"fpcache/internal/dcache"
+	"fpcache/internal/fault"
+	"fpcache/internal/faultinject"
 	"fpcache/internal/memtrace"
 	"fpcache/internal/sweep"
 	"fpcache/internal/synth"
@@ -56,8 +61,51 @@ type Options struct {
 	// seed, scale, warmup) point restore it instead of re-paying the
 	// warmup references. Results are byte-identical either way
 	// (snapshot restore is exact; the snapshot-parity suite in
-	// internal/system pins it). Empty disables caching.
+	// internal/system pins it), including when a cached entry turns
+	// out corrupt: the entry is quarantined and the point falls back
+	// to a cold warmup. Empty disables caching.
 	StateCache string
+	// StateCacheMaxBytes caps the state cache's total size (fpbench
+	// -state-cache-max); oldest entries are evicted first. 0 is
+	// unlimited.
+	StateCacheMaxBytes int64
+
+	// The fault-tolerance knobs below switch sweeps from the strict
+	// executor (first error aborts the experiment) to the tolerant one
+	// (sweep.MapTolerant): panics are isolated per point, retryable
+	// faults retry up to MaxAttempts with RetryBackoff, PointTimeout
+	// bounds each attempt, and everything that failed or retried lands
+	// in the run's FailureReport. Successful points stay byte-identical
+	// to a strict run at any worker count.
+
+	// MaxAttempts bounds per-point attempts for retryable faults
+	// (fpbench/fpsim -max-retries + 1); values below 2 mean no retry.
+	MaxAttempts int
+	// RetryBackoff is the base delay between attempts (doubled per
+	// retry, deterministically jittered from Seed).
+	RetryBackoff time.Duration
+	// PointTimeout is the per-attempt deadline (fpbench/fpsim
+	// -point-timeout); 0 disables it.
+	PointTimeout time.Duration
+	// Tolerate keeps an experiment's surviving rows when points fail
+	// for good: failed points degrade to zero-valued cells recorded in
+	// the FailureReport instead of failing the experiment.
+	Tolerate bool
+	// Injector schedules faults for testing the machinery above; nil
+	// (always, outside fault-injection runs) injects nothing.
+	Injector *faultinject.Injector `json:"-"`
+
+	// rec collects the run's FailureReport when the caller asked for
+	// one (RowsWithReport); nil drops the records.
+	rec *failureRecorder
+}
+
+// faultTolerant reports whether any tolerance knob asks for the
+// tolerant executor; with none set, sweeps run strict exactly as
+// before.
+func (o Options) faultTolerant() bool {
+	return o.MaxAttempts > 1 || o.RetryBackoff > 0 || o.PointTimeout > 0 ||
+		o.Tolerate || o.Injector.Active()
 }
 
 // WithDefaults returns the options as every driver will actually run
@@ -98,10 +146,158 @@ func (o Options) workerCount() int {
 	return sweep.Workers(o.Workers)
 }
 
+// Failure dispositions: what became of a faulted point.
+const (
+	// DispositionRetried: the point eventually succeeded; its row is
+	// indistinguishable from an unfaulted run's.
+	DispositionRetried = "retried-to-success"
+	// DispositionDegraded: the point failed for good; its row cells
+	// are zero-valued (only reported under Options.Tolerate).
+	DispositionDegraded = "degraded"
+	// DispositionQuarantined: a corrupt warm-state snapshot was pulled
+	// out of service; the point fell back to a cold warmup and its row
+	// is byte-identical to a never-cached run.
+	DispositionQuarantined = "quarantined"
+)
+
+// Failure is one FailureReport entry: a point that panicked, timed
+// out, errored, retried, or had its cache entry quarantined.
+type Failure struct {
+	// Point identifies the faulted point (sweep/point index for sweep
+	// faults, workload/spec for cache faults).
+	Point string `json:"point"`
+	// Class is the fault taxonomy class.
+	Class fault.Class `json:"class"`
+	// Attempts is how many times the point ran.
+	Attempts int `json:"attempts"`
+	// Disposition is one of the Disposition* constants.
+	Disposition string `json:"disposition"`
+	// Error is the final error ("" when the point recovered).
+	Error string `json:"error,omitempty"`
+}
+
+// FailureReport summarizes every fault one experiment absorbed —
+// empty means a clean run. Entries are sorted for deterministic output
+// at any worker count.
+type FailureReport struct {
+	Experiment string    `json:"experiment,omitempty"`
+	Failures   []Failure `json:"failures"`
+}
+
+// failureRecorder is the mutex-guarded collector behind a run's
+// FailureReport; a nil recorder drops records.
+type failureRecorder struct {
+	mu       sync.Mutex
+	sweeps   int
+	failures []Failure
+}
+
+func (r *failureRecorder) add(f Failure) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.failures = append(r.failures, f)
+	r.mu.Unlock()
+}
+
+// nextSweep numbers pmap fan-outs for point keys when no injector is
+// tracking them.
+func (r *failureRecorder) nextSweep() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.sweeps
+	r.sweeps++
+	return n
+}
+
+// report finalizes the collected failures. Sorting makes the report
+// deterministic: in-sweep entries arrive in index order, but
+// quarantine events from concurrent points interleave arbitrarily.
+func (r *failureRecorder) report(experiment string) *FailureReport {
+	rep := &FailureReport{Experiment: experiment}
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	rep.Failures = append(rep.Failures, r.failures...)
+	r.mu.Unlock()
+	sort.SliceStable(rep.Failures, func(i, j int) bool {
+		a, b := rep.Failures[i], rep.Failures[j]
+		if a.Point != b.Point {
+			return a.Point < b.Point
+		}
+		if a.Disposition != b.Disposition {
+			return a.Disposition < b.Disposition
+		}
+		return a.Class < b.Class
+	})
+	return rep
+}
+
 // pmap fans n independent simulation points out over the options'
-// worker pool and gathers the results in point order.
+// worker pool and gathers the results in point order. Without
+// tolerance knobs it is the strict executor (first error aborts, as
+// every experiment always ran); with them, points run under
+// sweep.MapTolerant — isolated, retried, deadline-bounded — and the
+// fan-out's faults land in the failure recorder. Either way the
+// results of successful points are byte-identical at any worker
+// count.
 func pmap[T any](o Options, n int, job func(i int) (T, error)) ([]T, error) {
-	return sweep.Map(o.workerCount(), n, job)
+	if !o.faultTolerant() {
+		return sweep.Map(o.workerCount(), n, job)
+	}
+	// Sweep ordinals come from the injector when one is scheduling (so
+	// its sweep= selectors and our point keys agree), else from the
+	// recorder; experiments launch sweeps sequentially, so numbering is
+	// deterministic either way.
+	var seq int
+	if o.Injector.Active() {
+		seq = o.Injector.NextSweep()
+	} else {
+		seq = o.rec.nextSweep()
+	}
+	wrapped := job
+	if o.Injector.Active() {
+		wrapped = func(i int) (T, error) {
+			if err := o.Injector.Point(seq, i); err != nil {
+				var zero T
+				return zero, err
+			}
+			return job(i)
+		}
+	}
+	pol := sweep.Policy{
+		MaxAttempts: o.MaxAttempts,
+		Backoff:     o.RetryBackoff,
+		Timeout:     o.PointTimeout,
+		Seed:        o.Seed,
+	}
+	out, reports := sweep.MapTolerant(o.workerCount(), n, pol, wrapped)
+	var firstErr error
+	for _, r := range reports {
+		f := Failure{
+			Point:       fmt.Sprintf("sweep%d/point%d", seq, r.Index),
+			Class:       r.Class,
+			Attempts:    r.Attempts,
+			Disposition: DispositionRetried,
+		}
+		if r.Err != nil {
+			f.Disposition = DispositionDegraded
+			f.Error = r.Err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("point %d: %w", r.Index, r.Err)
+			}
+		}
+		o.rec.add(f)
+	}
+	if firstErr != nil && !o.Tolerate {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // gridPoint is one (workload, capacity) cell of an experiment grid.
@@ -141,7 +337,7 @@ func (o Options) runFunctional(design dcache.Design, workload string) (system.Fu
 	if err != nil {
 		return system.FunctionalResult{}, err
 	}
-	return system.RunFunctional(design, src, o.WarmupRefs, o.Refs), nil
+	return system.RunFunctional(design, src, o.WarmupRefs, o.Refs)
 }
 
 // runTiming is the common timing-mode step.
@@ -161,7 +357,7 @@ func (o Options) runTimingResized(design dcache.Design, workload string, plan *s
 		WarmupRefs: o.WarmupRefs,
 		MaxRefs:    o.TimingRefs,
 		Resize:     plan,
-	}), nil
+	})
 }
 
 // buildFunctional constructs a design and runs one functional point —
@@ -169,18 +365,18 @@ func (o Options) runTimingResized(design dcache.Design, workload string, plan *s
 // design's warm state is restored (or warmed once and stored) instead
 // of re-simulating the warmup prefix.
 func (o Options) buildFunctional(spec system.DesignSpec, workload string) (system.FunctionalResult, error) {
-	design, err := system.BuildDesign(spec)
-	if err != nil {
-		return system.FunctionalResult{}, err
-	}
 	if o.StateCache == "" || o.WarmupRefs <= 0 {
+		design, err := system.BuildDesign(spec)
+		if err != nil {
+			return system.FunctionalResult{}, err
+		}
 		return o.runFunctional(design, workload)
 	}
-	state, src, _, err := o.warmState(design, spec, workload)
+	state, src, _, err := o.warmState(spec, workload)
 	if err != nil {
 		return system.FunctionalResult{}, err
 	}
-	return state.Measure(src, o.Refs, nil), nil
+	return state.Measure(src, o.Refs, nil)
 }
 
 // buildTiming constructs a design and runs one timing point.
@@ -194,14 +390,14 @@ func (o Options) buildTiming(spec system.DesignSpec, workload string) (system.Ti
 // modes (RunTiming's warmup is the same Access sequence), so one
 // snapshot per point serves every experiment that sweeps it.
 func (o Options) buildTimingResized(spec system.DesignSpec, workload string, plan *system.ResizePlan) (system.TimingResult, error) {
-	design, err := system.BuildDesign(spec)
-	if err != nil {
-		return system.TimingResult{}, err
-	}
 	if o.StateCache == "" || o.WarmupRefs <= 0 {
+		design, err := system.BuildDesign(spec)
+		if err != nil {
+			return system.TimingResult{}, err
+		}
 		return o.runTimingResized(design, workload, plan)
 	}
-	state, src, prof, err := o.warmState(design, spec, workload)
+	state, src, prof, err := o.warmState(spec, workload)
 	if err != nil {
 		return system.TimingResult{}, err
 	}
@@ -210,19 +406,45 @@ func (o Options) buildTimingResized(spec system.DesignSpec, workload string, pla
 		MLP:     prof.MLP,
 		MaxRefs: o.TimingRefs,
 		Resize:  plan,
-	}), nil
+	})
+}
+
+// warmCache opens the configured state cache with the options' cap
+// and, under fault injection, the injector's stream wrappers.
+func (o Options) warmCache() (*system.WarmCache, error) {
+	cache, err := system.NewWarmCache(o.StateCache)
+	if err != nil {
+		return nil, err
+	}
+	cache.SetMaxBytes(o.StateCacheMaxBytes)
+	if o.Injector.Active() {
+		cache.WrapReader = func(r io.Reader) io.Reader {
+			return o.Injector.Reader(faultinject.SiteSnapshotRead, r)
+		}
+		cache.WrapWriter = func(w io.Writer) io.Writer {
+			return o.Injector.Writer(faultinject.SiteSnapshotWrite, w)
+		}
+	}
+	return cache, nil
 }
 
 // warmState builds the point's warm simulation state — restored from
 // the state cache when a snapshot exists, warmed from the trace (and
 // stored) otherwise — returning the trace source positioned at the
 // first measured reference.
-func (o Options) warmState(design dcache.Design, spec system.DesignSpec, workload string) (*system.SimState, memtrace.Source, synth.Profile, error) {
+//
+// The cache can only accelerate the point, never poison it: a corrupt
+// or identity-mismatched entry is quarantined by the cache, recorded
+// in the failure report, and the point rebuilds its design and warms
+// cold — producing rows byte-identical to a never-cached run. A
+// transient read failure propagates instead (the entry may be fine),
+// so the sweep's retry policy decides.
+func (o Options) warmState(spec system.DesignSpec, workload string) (*system.SimState, memtrace.Source, synth.Profile, error) {
 	src, prof, err := o.trace(workload)
 	if err != nil {
 		return nil, nil, synth.Profile{}, err
 	}
-	cache, err := system.NewWarmCache(o.StateCache)
+	cache, err := o.warmCache()
 	if err != nil {
 		return nil, nil, synth.Profile{}, err
 	}
@@ -233,16 +455,45 @@ func (o Options) warmState(design dcache.Design, spec system.DesignSpec, workloa
 		WarmupRefs: o.WarmupRefs,
 		Spec:       spec,
 	}
-	state := system.NewSimState(design)
-	hit, err := cache.Load(key, state)
+	design, err := system.BuildDesign(spec)
 	if err != nil {
 		return nil, nil, synth.Profile{}, err
+	}
+	state := system.NewSimState(design)
+	hit, quarantined, err := cache.Load(key, state)
+	if err != nil {
+		return nil, nil, synth.Profile{}, err
+	}
+	if quarantined != nil {
+		class := fault.ClassOf(quarantined.Err)
+		if class == fault.ClassUnknown {
+			class = fault.ClassCorruptSnapshot
+		}
+		// The content-hash prefix disambiguates points that share a
+		// (workload, kind, capacity) label but differ in other spec
+		// fields, keeping the sorted report deterministic.
+		o.rec.add(Failure{
+			Point:       fmt.Sprintf("%s/%s/%dMB/%.12s", workload, spec.Kind, spec.PaperCapacityMB, quarantined.Key),
+			Class:       class,
+			Attempts:    1,
+			Disposition: DispositionQuarantined,
+			Error:       quarantined.Err.Error(),
+		})
+		// The failed restore may have partially mutated the state;
+		// rebuild it fresh before the cold warmup.
+		design, err = system.BuildDesign(spec)
+		if err != nil {
+			return nil, nil, synth.Profile{}, err
+		}
+		state = system.NewSimState(design)
 	}
 	if hit {
 		memtrace.Skip(src, o.WarmupRefs)
 		return state, src, prof, nil
 	}
-	state.Warm(src, o.WarmupRefs)
+	if err := state.Warm(src, o.WarmupRefs); err != nil {
+		return nil, nil, synth.Profile{}, err
+	}
 	if err := cache.Store(key, state); err != nil {
 		return nil, nil, synth.Profile{}, err
 	}
@@ -315,6 +566,22 @@ func Rows(name string, o Options) (any, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
 	return e.rows(o)
+}
+
+// RowsWithReport is Rows plus the run's FailureReport: every fault the
+// tolerant executor absorbed (panics isolated, retries, timeouts,
+// quarantined cache entries) with its disposition. A clean run returns
+// an empty report. Under Options.Tolerate the rows come back degraded
+// instead of err being set when points failed for good.
+func RowsWithReport(name string, o Options) (any, *FailureReport, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	rec := &failureRecorder{}
+	o.rec = rec
+	rows, err := e.rows(o)
+	return rows, rec.report(name), err
 }
 
 // RunAll executes every experiment in paper order. Individual

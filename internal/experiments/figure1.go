@@ -73,13 +73,16 @@ func Figure1Rows(o Options) ([]Figure1Row, error) {
 			return 0, err
 		}
 		cfg := highBWConfig(variant == 2)
-		res := system.RunTiming(dcache.NewIdeal(), src, system.TimingConfig{
+		res, err := system.RunTiming(dcache.NewIdeal(), src, system.TimingConfig{
 			Cores:      prof.Cores,
 			MLP:        prof.MLP,
 			WarmupRefs: o.WarmupRefs,
 			MaxRefs:    o.TimingRefs,
 			Stacked:    &cfg,
 		})
+		if err != nil {
+			return 0, err
+		}
 		return res.AggIPC(), nil
 	})
 	if err != nil {

@@ -18,7 +18,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"fpcache/internal/fault"
 )
+
+// corruptf builds a trace-corruption error carrying the taxonomy
+// sentinel, so sweep layers classify it (fault.ClassCorruptTrace)
+// without matching message strings. Args may include a wrapped cause
+// via %w; if that cause already carries the sentinel (a nested
+// corruptf), it is not appended again.
+func corruptf(format string, args ...any) error {
+	err := fmt.Errorf("memtrace: "+format, args...)
+	if errors.Is(err, fault.ErrCorruptTrace) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", err, fault.ErrCorruptTrace)
+}
 
 // Addr is a physical byte address.
 type Addr uint64
@@ -235,7 +250,7 @@ func (tr *Reader) Next() (Record, bool) {
 	var buf [22]byte
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
 		if err != io.EOF {
-			tr.err = fmt.Errorf("memtrace: reading record: %w", err)
+			tr.err = corruptf("reading record: %w", err)
 		}
 		return Record{}, false
 	}
@@ -247,14 +262,14 @@ func (tr *Reader) Next() (Record, bool) {
 func readHeader(r io.Reader) (uint16, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, fmt.Errorf("memtrace: reading header: %w", err)
+		return 0, corruptf("reading header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
-		return 0, errors.New("memtrace: bad magic; not a trace file")
+		return 0, corruptf("bad magic; not a trace file")
 	}
 	v := binary.LittleEndian.Uint16(hdr[4:])
 	if v != version1 && v != version2 {
-		return 0, fmt.Errorf("memtrace: unsupported trace version %d", v)
+		return 0, corruptf("unsupported trace version %d", v)
 	}
 	return v, nil
 }

@@ -91,7 +91,7 @@ func (d *chunkDecoder) next() (Record, error) {
 	uvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(d.payload[d.pos:])
 		if n <= 0 {
-			return 0, fmt.Errorf("memtrace: chunk payload truncated at byte %d", d.pos)
+			return 0, corruptf("chunk payload truncated at byte %d", d.pos)
 		}
 		d.pos += n
 		return v, nil
@@ -105,7 +105,7 @@ func (d *chunkDecoder) next() (Record, error) {
 		return Record{}, err
 	}
 	if d.pos+2 > len(d.payload) {
-		return Record{}, fmt.Errorf("memtrace: chunk payload truncated at byte %d", d.pos)
+		return Record{}, corruptf("chunk payload truncated at byte %d", d.pos)
 	}
 	flags, core := d.payload[d.pos], d.payload[d.pos+1]
 	d.pos += 2
@@ -114,7 +114,7 @@ func (d *chunkDecoder) next() (Record, error) {
 		return Record{}, err
 	}
 	if gap > (1<<32)-1 {
-		return Record{}, fmt.Errorf("memtrace: record gap %d overflows 32 bits", gap)
+		return Record{}, corruptf("record gap %d overflows 32 bits", gap)
 	}
 	d.prevPC += uint64(unzigzag(dpc))
 	d.prevAddr += uint64(unzigzag(daddr))
@@ -266,33 +266,33 @@ func (tw *WriterV2) Close() error {
 func readChunkFrame(r *bufio.Reader, dst []byte) (payload []byte, records int, err error) {
 	recs, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, 0, fmt.Errorf("memtrace: reading chunk record count: %w", err)
+		return nil, 0, corruptf("reading chunk record count: %w", err)
 	}
 	plen, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, 0, fmt.Errorf("memtrace: reading chunk length: %w", err)
+		return nil, 0, corruptf("reading chunk length: %w", err)
 	}
 	if plen > maxChunkPayload {
-		return nil, 0, fmt.Errorf("memtrace: chunk payload of %d bytes exceeds the %d-byte limit", plen, maxChunkPayload)
+		return nil, 0, corruptf("chunk payload of %d bytes exceeds the %d-byte limit", plen, maxChunkPayload)
 	}
 	if recs > plen {
 		// Every record costs at least one byte; a higher count is
 		// corruption, not a dense encoding.
-		return nil, 0, fmt.Errorf("memtrace: chunk claims %d records in %d bytes", recs, plen)
+		return nil, 0, corruptf("chunk claims %d records in %d bytes", recs, plen)
 	}
 	if uint64(cap(dst)) < plen {
 		dst = make([]byte, plen)
 	}
 	dst = dst[:plen]
 	if _, err := io.ReadFull(r, dst); err != nil {
-		return nil, 0, fmt.Errorf("memtrace: reading chunk payload: %w", err)
+		return nil, 0, corruptf("reading chunk payload: %w", err)
 	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
-		return nil, 0, fmt.Errorf("memtrace: reading chunk crc: %w", err)
+		return nil, 0, corruptf("reading chunk crc: %w", err)
 	}
 	if got, want := crc32.Checksum(dst, crcTable), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
-		return nil, 0, fmt.Errorf("memtrace: chunk crc mismatch (%#x, want %#x)", got, want)
+		return nil, 0, corruptf("chunk crc mismatch (%#x, want %#x)", got, want)
 	}
 	return dst, int(recs), nil
 }
@@ -305,7 +305,7 @@ func (tr *Reader) nextV2() (Record, bool) {
 		}
 		marker, err := tr.r.ReadByte()
 		if err != nil {
-			tr.err = fmt.Errorf("memtrace: v2 trace truncated (missing chunk index): %w", err)
+			tr.err = corruptf("v2 trace truncated (missing chunk index): %w", err)
 			return Record{}, false
 		}
 		switch marker {
@@ -321,7 +321,7 @@ func (tr *Reader) nextV2() (Record, bool) {
 			}
 			tr.chunk.reset(payload, recs)
 		default:
-			tr.err = fmt.Errorf("memtrace: unknown frame marker %#x", marker)
+			tr.err = corruptf("unknown frame marker %#x", marker)
 			return Record{}, false
 		}
 	}
@@ -341,7 +341,7 @@ func (tr *Reader) nextV2() (Record, bool) {
 func (tr *Reader) checkIndex() {
 	n, err := binary.ReadUvarint(tr.r)
 	if err != nil {
-		tr.err = fmt.Errorf("memtrace: reading chunk index: %w", err)
+		tr.err = corruptf("reading chunk index: %w", err)
 		return
 	}
 	for i := uint64(0); i < n; i++ {
@@ -349,17 +349,17 @@ func (tr *Reader) checkIndex() {
 			_, err = binary.ReadUvarint(tr.r)
 		}
 		if err != nil {
-			tr.err = fmt.Errorf("memtrace: reading chunk index entry %d: %w", i, err)
+			tr.err = corruptf("reading chunk index entry %d: %w", i, err)
 			return
 		}
 	}
 	var buf [8]byte
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
-		tr.err = fmt.Errorf("memtrace: reading trace total: %w", err)
+		tr.err = corruptf("reading trace total: %w", err)
 		return
 	}
 	if total := binary.LittleEndian.Uint64(buf[:]); total != tr.read {
-		tr.err = fmt.Errorf("memtrace: trace index records %d references, stream delivered %d", total, tr.read)
+		tr.err = corruptf("trace index records %d references, stream delivered %d", total, tr.read)
 	}
 }
 
@@ -400,7 +400,7 @@ func NewFileReader(rs io.ReadSeeker) (*FileReader, error) {
 	}
 	if v == version1 {
 		if (size-8)%22 != 0 {
-			return nil, fmt.Errorf("memtrace: v1 trace of %d bytes is truncated mid-record", size)
+			return nil, corruptf("v1 trace of %d bytes is truncated mid-record", size)
 		}
 		fr.total = uint64(size-8) / 22
 	} else if err := fr.loadIndex(size); err != nil {
@@ -412,22 +412,22 @@ func NewFileReader(rs io.ReadSeeker) (*FileReader, error) {
 // loadIndex locates and decodes the v2 chunk index from the footer.
 func (fr *FileReader) loadIndex(size int64) error {
 	if size < 8+footerBytes {
-		return fmt.Errorf("memtrace: v2 trace of %d bytes has no room for a footer", size)
+		return corruptf("v2 trace of %d bytes has no room for a footer", size)
 	}
 	var footer [footerBytes]byte
 	if _, err := fr.rs.Seek(size-footerBytes, io.SeekStart); err != nil {
 		return err
 	}
 	if _, err := io.ReadFull(fr.rs, footer[:]); err != nil {
-		return fmt.Errorf("memtrace: reading footer: %w", err)
+		return corruptf("reading footer: %w", err)
 	}
 	if m := binary.LittleEndian.Uint32(footer[4:]); m != indexMagic {
-		return fmt.Errorf("memtrace: bad index magic %#x (trace truncated or not indexed)", m)
+		return corruptf("bad index magic %#x (trace truncated or not indexed)", m)
 	}
 	idxSize := int64(binary.LittleEndian.Uint32(footer[0:]))
 	idxStart := size - footerBytes - idxSize
 	if idxStart < 8 {
-		return fmt.Errorf("memtrace: index size %d overruns the file", idxSize)
+		return corruptf("index size %d overruns the file", idxSize)
 	}
 	if _, err := fr.rs.Seek(idxStart, io.SeekStart); err != nil {
 		return err
@@ -435,43 +435,43 @@ func (fr *FileReader) loadIndex(size int64) error {
 	fr.br.Reset(fr.rs)
 	marker, err := fr.br.ReadByte()
 	if err != nil {
-		return fmt.Errorf("memtrace: reading index marker: %w", err)
+		return corruptf("reading index marker: %w", err)
 	}
 	if marker != indexMarker {
-		return fmt.Errorf("memtrace: index frame marker %#x, want %#x (corrupt index)", marker, indexMarker)
+		return corruptf("index frame marker %#x, want %#x (corrupt index)", marker, indexMarker)
 	}
 	n, err := binary.ReadUvarint(fr.br)
 	if err != nil {
-		return fmt.Errorf("memtrace: reading chunk count: %w", err)
+		return corruptf("reading chunk count: %w", err)
 	}
 	if int64(n) > size {
-		return fmt.Errorf("memtrace: chunk count %d exceeds file size", n)
+		return corruptf("chunk count %d exceeds file size", n)
 	}
 	fr.chunks = make([]v2Chunk, 0, n)
 	var offset, start uint64
 	for i := uint64(0); i < n; i++ {
 		d, err := binary.ReadUvarint(fr.br)
 		if err != nil {
-			return fmt.Errorf("memtrace: reading chunk %d offset: %w", i, err)
+			return corruptf("reading chunk %d offset: %w", i, err)
 		}
 		recs, err := binary.ReadUvarint(fr.br)
 		if err != nil {
-			return fmt.Errorf("memtrace: reading chunk %d record count: %w", i, err)
+			return corruptf("reading chunk %d record count: %w", i, err)
 		}
 		offset += d
 		if offset < 8 || int64(offset) >= idxStart || recs == 0 {
-			return fmt.Errorf("memtrace: chunk %d (offset %d, %d records) is outside the data section", i, offset, recs)
+			return corruptf("chunk %d (offset %d, %d records) is outside the data section", i, offset, recs)
 		}
 		fr.chunks = append(fr.chunks, v2Chunk{offset: offset, start: start, records: recs})
 		start += recs
 	}
 	var buf [8]byte
 	if _, err := io.ReadFull(fr.br, buf[:]); err != nil {
-		return fmt.Errorf("memtrace: reading trace total: %w", err)
+		return corruptf("reading trace total: %w", err)
 	}
 	fr.total = binary.LittleEndian.Uint64(buf[:])
 	if fr.total != start {
-		return fmt.Errorf("memtrace: index total %d disagrees with chunk sum %d", fr.total, start)
+		return corruptf("index total %d disagrees with chunk sum %d", fr.total, start)
 	}
 	return nil
 }
@@ -519,17 +519,17 @@ func (fr *FileReader) loadChunk(i int) error {
 	}
 	marker, err := fr.br.ReadByte()
 	if err != nil {
-		return fmt.Errorf("memtrace: reading chunk %d marker: %w", i, err)
+		return corruptf("reading chunk %d marker: %w", i, err)
 	}
 	if marker != chunkMarker {
-		return fmt.Errorf("memtrace: chunk %d marker %#x, want %#x", i, marker, chunkMarker)
+		return corruptf("chunk %d marker %#x, want %#x", i, marker, chunkMarker)
 	}
 	payload, recs, err := readChunkFrame(fr.br, fr.chunk.payload)
 	if err != nil {
-		return fmt.Errorf("memtrace: chunk %d: %w", i, err)
+		return corruptf("chunk %d: %w", i, err)
 	}
 	if uint64(recs) != c.records {
-		return fmt.Errorf("memtrace: chunk %d holds %d records, index says %d", i, recs, c.records)
+		return corruptf("chunk %d holds %d records, index says %d", i, recs, c.records)
 	}
 	fr.cur = i
 	fr.chunk.reset(payload, recs)
@@ -575,6 +575,55 @@ func (fr *FileReader) SeekRecord(i uint64) error {
 	return nil
 }
 
+// Verify is the trace fsck (tracegen -verify): it walks the whole
+// file — every chunk frame for v2 (CRC, framing, full record decode,
+// index agreement), every fixed-width record for v1 — and returns a
+// typed corruption error (fault.ErrCorruptTrace) naming the first bad
+// chunk and its file offset, or nil for a clean file. On success the
+// reader is repositioned at record 0; after a corruption it is
+// poisoned like any other decode failure.
+func (fr *FileReader) Verify() error {
+	if fr.version == version1 {
+		if err := fr.SeekRecord(0); err != nil {
+			return err
+		}
+		var n uint64
+		for {
+			if _, ok := fr.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if fr.err != nil {
+			return fr.err
+		}
+		if n != fr.total {
+			return corruptf("verify: v1 trace delivered %d of %d records", n, fr.total)
+		}
+		return fr.SeekRecord(0)
+	}
+	for i := range fr.chunks {
+		c := fr.chunks[i]
+		if err := fr.loadChunk(i); err != nil {
+			fr.fail(err)
+			return corruptf("verify: chunk %d at offset %d: %w", i, c.offset, err)
+		}
+		for fr.chunk.left > 0 {
+			if _, err := fr.chunk.next(); err != nil {
+				fr.fail(err)
+				return corruptf("verify: chunk %d at offset %d: %w", i, c.offset, err)
+			}
+		}
+		if fr.chunk.pos != len(fr.chunk.payload) {
+			err := corruptf("verify: chunk %d at offset %d: %d trailing payload bytes",
+				i, c.offset, len(fr.chunk.payload)-fr.chunk.pos)
+			fr.fail(err)
+			return err
+		}
+	}
+	return fr.SeekRecord(0)
+}
+
 // SkipRecords discards up to n records by seeking, returning how many
 // were skipped (fewer only at end-of-trace).
 func (fr *FileReader) SkipRecords(n int) (int, error) {
@@ -599,7 +648,7 @@ func (fr *FileReader) Next() (Record, bool) {
 	if fr.version == version1 {
 		var buf [22]byte
 		if _, err := io.ReadFull(fr.br, buf[:]); err != nil {
-			fr.fail(fmt.Errorf("memtrace: reading record %d: %w", fr.next, err))
+			fr.fail(corruptf("reading record %d: %w", fr.next, err))
 			return Record{}, false
 		}
 		fr.next++
@@ -607,7 +656,7 @@ func (fr *FileReader) Next() (Record, bool) {
 	}
 	if fr.chunk.left == 0 {
 		if fr.cur+1 >= len(fr.chunks) {
-			fr.fail(fmt.Errorf("memtrace: chunk index exhausted at record %d of %d", fr.next, fr.total))
+			fr.fail(corruptf("chunk index exhausted at record %d of %d", fr.next, fr.total))
 			return Record{}, false
 		}
 		if err := fr.loadChunk(fr.cur + 1); err != nil {

@@ -3,9 +3,12 @@ package memtrace
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
+
+	"fpcache/internal/fault"
 )
 
 // genRecords builds a deterministic pseudo-random record stream with
@@ -304,5 +307,67 @@ func TestLimitZeroMeansUnbounded(t *testing.T) {
 	l := &Limit{Src: NewSlice(recs), N: 3}
 	if got, _ := drain(l); len(got) != 3 {
 		t.Fatalf("Limit{N:3} yielded %d records", len(got))
+	}
+}
+
+// TestVerifyCleanAndCorrupt pins the fsck path (tracegen -verify): a
+// clean file verifies and stays usable; a bit flip anywhere in a chunk
+// payload fails Verify with a typed corruption error naming a chunk.
+func TestVerifyCleanAndCorrupt(t *testing.T) {
+	recs := genRecords(500, 9)
+	data := writeV2(t, recs, 64)
+
+	fr, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Verify(); err != nil {
+		t.Fatalf("clean trace failed verify: %v", err)
+	}
+	// Verify leaves the reader positioned at record 0.
+	got, err := drain(fr)
+	if err != nil || len(got) != len(recs) {
+		t.Fatalf("post-verify read: %d records, err %v", len(got), err)
+	}
+
+	// Flip one bit inside the second chunk's payload.
+	offsets, _, _ := fr.Chunks()
+	if len(offsets) < 3 {
+		t.Fatalf("want several chunks, have %d", len(offsets))
+	}
+	bad := append([]byte(nil), data...)
+	bad[offsets[1]+8] ^= 0x10
+	fr2, err := NewFileReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := fr2.Verify()
+	if verr == nil {
+		t.Fatal("corrupt trace passed verify")
+	}
+	if !errors.Is(verr, fault.ErrCorruptTrace) {
+		t.Fatalf("verify error does not wrap ErrCorruptTrace: %v", verr)
+	}
+	if !strings.Contains(verr.Error(), "chunk 1") {
+		t.Fatalf("verify error does not name the corrupt chunk: %v", verr)
+	}
+
+	// Verify also covers v1 files.
+	var v1 bytes.Buffer
+	w := NewWriter(&v1)
+	for _, r := range recs[:50] {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr3, err := NewFileReader(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr3.Verify(); err != nil {
+		t.Fatalf("clean v1 trace failed verify: %v", err)
 	}
 }

@@ -1,0 +1,149 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fpcache/internal/fault"
+)
+
+// validEnvelope builds one well-formed envelope exercising every
+// primitive the codec offers.
+func validEnvelope(t testing.TB) []byte {
+	var buf bytes.Buffer
+	err := WriteEnvelope(&buf, "fuzz-kind", 3, func(w *Writer) {
+		w.Tag("section-a")
+		w.U64(0)
+		w.U64(1<<64 - 1)
+		w.I64(-1234567)
+		w.Bool(true)
+		w.String("payload string")
+		w.Tag("section-b")
+		w.Bool(false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeEnvelope reads the envelope back with the schema of
+// validEnvelope; any corruption must surface as an error here, never as
+// a panic or an over-read.
+func decodeEnvelope(data []byte) error {
+	return ReadEnvelope(bytes.NewReader(data), "fuzz-kind", 3, func(r *Reader) error {
+		r.Expect("section-a")
+		_ = r.U64()
+		_ = r.U64()
+		_ = r.I64()
+		_ = r.Bool()
+		if s := r.String(); len(s) > maxStringLen {
+			return errors.New("string over the decode limit")
+		}
+		r.Expect("section-b")
+		_ = r.Bool()
+		return r.Err()
+	})
+}
+
+// FuzzReadEnvelope feeds arbitrary bytes through the envelope decoder.
+// The invariants: never panic, and truncations of a valid stream always
+// error (a partial snapshot must not decode in silence). Bit flips that
+// land in value bytes may legally decode to different values — the
+// codec has no checksum; integrity of the payload region is the trace
+// CRC's and cache quarantine's job — but flips in the header or
+// structure tags must error.
+func FuzzReadEnvelope(f *testing.F) {
+	valid := validEnvelope(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("not a snapshot at all"))
+	for _, cut := range []int{1, 2, 5, len(valid) / 2, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	for _, i := range []int{0, 1, 3, 8, len(valid) - 2} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	// A length prefix claiming a giant string: must error at the bound,
+	// not allocate or block reading.
+	huge := append([]byte(nil), valid[:2]...)
+	f.Add(append(huge, 0xff, 0xff, 0xff, 0xff, 0x7f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := decodeEnvelope(data) // must not panic, whatever the bytes
+		if bytes.Equal(data, valid) {
+			if err != nil {
+				t.Fatalf("valid envelope rejected: %v", err)
+			}
+			return
+		}
+		if err != nil && !errors.Is(err, fault.ErrCorruptSnapshot) {
+			t.Fatalf("decode error outside the fault taxonomy: %v", err)
+		}
+		// Strict prefixes of the valid stream are truncations: they must
+		// error, never succeed with a partial decode.
+		if len(data) < len(valid) && bytes.Equal(data, valid[:len(data)]) && err == nil {
+			t.Fatalf("truncated envelope (%d of %d bytes) decoded without error", len(data), len(valid))
+		}
+	})
+}
+
+// TestEnvelopeTruncationsAllError pins the truncation property
+// exhaustively (the fuzzer only samples it): every strict prefix of a
+// valid envelope fails to decode, with the taxonomy sentinel.
+func TestEnvelopeTruncationsAllError(t *testing.T) {
+	valid := validEnvelope(t)
+	for cut := 0; cut < len(valid); cut++ {
+		err := decodeEnvelope(valid[:cut])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(valid))
+		}
+		if !errors.Is(err, fault.ErrCorruptSnapshot) {
+			t.Fatalf("prefix of %d bytes: error %v does not wrap fault.ErrCorruptSnapshot", cut, err)
+		}
+	}
+}
+
+// TestEnvelopeHeaderFlipsError pins detection of corruption in the
+// structural region: magic, version, kind, and section tags are all
+// validated, so single-bit flips there must error.
+func TestEnvelopeHeaderFlipsError(t *testing.T) {
+	valid := validEnvelope(t)
+	// The structural region: magic (5-byte varint), version (1 byte),
+	// the length-prefixed kind string, and the first section tag. Bytes
+	// past it are values, which decode to other values instead of
+	// failing (no checksum at this layer).
+	headerLen := 5 + 1 + (1 + len("fuzz-kind")) + (1 + len("section-a"))
+	for i := 0; i < headerLen && i < len(valid); i++ {
+		for bit := uint(0); bit < 8; bit++ {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= 1 << bit
+			if err := decodeEnvelope(mut); err == nil {
+				t.Fatalf("flip of byte %d bit %d decoded without error", i, bit)
+			}
+		}
+	}
+}
+
+// TestStringLengthBomb pins the allocation bound: a length prefix far
+// past the limit errors instead of allocating or over-reading.
+func TestStringLengthBomb(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(Magic)
+	w.U64(3)
+	w.U64(1 << 40) // kind-string length prefix: a lie
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	err := decodeEnvelope(buf.Bytes())
+	if err == nil {
+		t.Fatal("giant string length decoded without error")
+	}
+	if !errors.Is(err, fault.ErrCorruptSnapshot) {
+		t.Fatalf("error %v does not wrap fault.ErrCorruptSnapshot", err)
+	}
+}

@@ -17,7 +17,17 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"fpcache/internal/fault"
 )
+
+// corruptf builds a snapshot-corruption error carrying the taxonomy
+// sentinel (fault.ErrCorruptSnapshot), so the warm-cache quarantine
+// and sweep retry layers classify decode failures without matching
+// message strings. Args may include a wrapped cause via %w.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("snap: "+format+": %w", append(args, fault.ErrCorruptSnapshot)...)
+}
 
 // Magic identifies a snapshot envelope.
 const Magic = uint64(0xF007_57A7) // "FOOT-STAT"
@@ -118,7 +128,7 @@ func (r *Reader) U64() uint64 {
 	}
 	v, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		r.fail(fmt.Errorf("snap: reading varint: %w", err))
+		r.fail(corruptf("reading varint: %w", err))
 		return 0
 	}
 	return v
@@ -137,7 +147,7 @@ func (r *Reader) Bool() bool {
 	}
 	b, err := r.r.ReadByte()
 	if err != nil {
-		r.fail(fmt.Errorf("snap: reading bool: %w", err))
+		r.fail(corruptf("reading bool: %w", err))
 		return false
 	}
 	return b != 0
@@ -150,12 +160,12 @@ func (r *Reader) String() string {
 		return ""
 	}
 	if n > maxStringLen {
-		r.fail(fmt.Errorf("snap: string length %d exceeds the %d-byte limit", n, maxStringLen))
+		r.fail(corruptf("string length %d exceeds the %d-byte limit", n, maxStringLen))
 		return ""
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r.r, buf); err != nil {
-		r.fail(fmt.Errorf("snap: reading string: %w", err))
+		r.fail(corruptf("reading string: %w", err))
 		return ""
 	}
 	return string(buf)
@@ -166,7 +176,7 @@ func (r *Reader) String() string {
 func (r *Reader) Expect(want string) {
 	got := r.String()
 	if r.err == nil && got != want {
-		r.fail(fmt.Errorf("snap: section %q, want %q", got, want))
+		r.fail(corruptf("section %q, want %q", got, want))
 	}
 }
 
@@ -189,13 +199,13 @@ func WriteEnvelope(dst io.Writer, kind string, version uint16, body func(*Writer
 func ReadEnvelope(src io.Reader, kind string, version uint16, fn func(*Reader) error) error {
 	r := NewReader(src)
 	if m := r.U64(); r.err == nil && m != Magic {
-		return fmt.Errorf("snap: bad magic %#x; not a snapshot", m)
+		return corruptf("bad magic %#x; not a snapshot", m)
 	}
 	if v := r.U64(); r.err == nil && v != uint64(version) {
-		return fmt.Errorf("snap: snapshot version %d, want %d", v, version)
+		return corruptf("snapshot version %d, want %d", v, version)
 	}
 	if k := r.String(); r.err == nil && k != kind {
-		return fmt.Errorf("snap: snapshot kind %q, want %q", k, kind)
+		return corruptf("snapshot kind %q, want %q", k, kind)
 	}
 	if r.err != nil {
 		return r.err

@@ -1,0 +1,236 @@
+package sweep
+
+// Fault-tolerant execution: the strict executor in sweep.go treats the
+// first error as fatal and short-circuits the sweep, which is right
+// for programming errors but wrong for server-scale sweeps where one
+// corrupt snapshot or panicking design composition must not discard
+// hours of neighboring points. RunTolerant/MapTolerant run every point
+// to completion under a Policy: panics are recovered into typed
+// errors, retryable faults are retried with exponential backoff and
+// deterministic jitter, per-attempt deadlines bound stuck points, and
+// every point that failed (or needed retries to succeed) is returned
+// in a deterministic report.
+//
+// The determinism contract of the strict executor carries over:
+// results of successful points are committed by index, so output is
+// byte-identical at any worker count. A timed-out attempt's abandoned
+// goroutine can never commit a result — values travel through a
+// channel and are discarded once the deadline fires — so a straggler
+// completing after its point was reported failed cannot race the
+// gather.
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"fpcache/internal/fault"
+)
+
+// Policy configures fault tolerance for one sweep. The zero value
+// isolates panics and runs every point exactly once with no deadline —
+// the minimum any tolerant sweep provides.
+type Policy struct {
+	// MaxAttempts bounds how many times a point runs before its
+	// failure is final; values below 1 mean one attempt (no retry).
+	// Only errors for which Retryable returns true are retried.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// further attempt (capped by MaxBackoff) with deterministic jitter
+	// derived from Seed. Zero disables sleeping between attempts.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; zero means 64x Backoff.
+	MaxBackoff time.Duration
+	// Timeout is the per-attempt deadline; zero disables it. A
+	// timed-out attempt counts as a non-retryable fault.ErrTimeout
+	// failure (a deterministic simulation that blew its deadline once
+	// will blow it again). The attempt's goroutine is abandoned, not
+	// killed — its result is discarded, never committed.
+	Timeout time.Duration
+	// Seed drives the backoff jitter, keyed with the point index and
+	// attempt number so schedules are reproducible run to run.
+	Seed int64
+	// Retryable classifies errors worth retrying; nil means
+	// fault.Retryable (transient I/O only).
+	Retryable func(error) bool
+	// sleep stubs time.Sleep in tests.
+	sleep func(time.Duration)
+}
+
+func (p Policy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) retryable(err error) bool {
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return fault.Retryable(err)
+}
+
+// PanicError is a recovered sweep-point panic: the fault the tentpole
+// isolation exists for. It wraps fault.ErrPointPanic and carries the
+// recovered value and the goroutine stack captured at recovery.
+type PanicError struct {
+	Index int
+	Value any
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("point %d: %v: %v", e.Index, fault.ErrPointPanic, e.Value)
+}
+
+// Unwrap ties the panic into the fault taxonomy.
+func (e *PanicError) Unwrap() error { return fault.ErrPointPanic }
+
+// PointReport describes one point that did not succeed on its first
+// attempt: either it eventually succeeded after retries (Err == nil,
+// Attempts > 1) or it failed for good (Err != nil).
+type PointReport struct {
+	// Index is the point's job index.
+	Index int
+	// Attempts is how many times the point ran.
+	Attempts int
+	// Err is the final failure, nil if a retry succeeded.
+	Err error
+	// Class is the fault classification of Err (ClassNone on success).
+	Class fault.Class
+	// Stack is the captured goroutine stack when Err is a panic.
+	Stack string
+}
+
+// RunTolerant executes jobs 0..n-1 on at most `workers` goroutines
+// under the policy. Unlike Run, every point executes regardless of
+// other points' failures; the returned reports (ordered by index)
+// cover exactly the points that failed or needed retries.
+func RunTolerant(workers, n int, pol Policy, job func(i int) error) []PointReport {
+	_, reports := MapTolerant(workers, n, pol, func(i int) (struct{}, error) {
+		return struct{}{}, job(i)
+	})
+	return reports
+}
+
+// MapTolerant executes n value-producing jobs under RunTolerant's
+// scheduling and policy. Failed points leave the zero value in their
+// result slot; out[i] is valid exactly when no report with Err != nil
+// names index i. Successful results are committed in index order, so
+// output is byte-identical at any worker count.
+func MapTolerant[T any](workers, n int, pol Policy, job func(i int) (T, error)) ([]T, []PointReport) {
+	out := make([]T, n)
+	perPoint := make([]*PointReport, n)
+	// The inner job never returns an error, so Run's lowest-failure
+	// short-circuit never engages and all n points execute.
+	_ = Run(workers, n, func(i int) error {
+		v, rep := runPoint(i, pol, job)
+		if rep == nil || rep.Err == nil {
+			out[i] = v
+		}
+		perPoint[i] = rep
+		return nil
+	})
+	var reports []PointReport
+	for _, r := range perPoint {
+		if r != nil {
+			reports = append(reports, *r)
+		}
+	}
+	return out, reports
+}
+
+// runPoint drives one point through the attempt/retry loop.
+func runPoint[T any](i int, pol Policy, job func(i int) (T, error)) (T, *PointReport) {
+	var zero T
+	for attempt := 1; ; attempt++ {
+		v, err := runAttempt(i, pol.Timeout, job)
+		if err == nil {
+			if attempt > 1 {
+				return v, &PointReport{Index: i, Attempts: attempt}
+			}
+			return v, nil
+		}
+		if attempt >= pol.attempts() || !pol.retryable(err) {
+			rep := &PointReport{Index: i, Attempts: attempt, Err: err, Class: fault.ClassOf(err)}
+			if pe, ok := err.(*PanicError); ok {
+				rep.Stack = pe.Stack
+			}
+			return zero, rep
+		}
+		if d := backoffDelay(pol, i, attempt); d > 0 {
+			sleep := pol.sleep
+			if sleep == nil {
+				sleep = time.Sleep
+			}
+			sleep(d)
+		}
+	}
+}
+
+// runAttempt executes one guarded attempt, bounded by the deadline.
+func runAttempt[T any](i int, timeout time.Duration, job func(i int) (T, error)) (T, error) {
+	if timeout <= 0 {
+		return guarded(i, job)
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := guarded(i, job)
+		ch <- result{v, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-timer.C:
+		var zero T
+		return zero, fmt.Errorf("point %d: %w after %v", i, fault.ErrTimeout, timeout)
+	}
+}
+
+// guarded runs the job with panic isolation.
+func guarded[T any](i int, job func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Index: i, Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	return job(i)
+}
+
+// backoffDelay computes the sleep before attempt+1: exponential in the
+// retry count with up to 50% deterministic jitter, so colliding
+// retries (many points hitting one recovering disk) spread out
+// reproducibly.
+func backoffDelay(pol Policy, index, attempt int) time.Duration {
+	if pol.Backoff <= 0 {
+		return 0
+	}
+	max := pol.MaxBackoff
+	if max <= 0 {
+		max = 64 * pol.Backoff
+	}
+	d := pol.Backoff << (attempt - 1)
+	if d <= 0 || d > max { // <= 0 catches shift overflow
+		d = max
+	}
+	j := splitmix64(uint64(pol.Seed) ^ uint64(index)*0x9E3779B97F4A7C15 ^ uint64(attempt))
+	jitter := time.Duration(j % uint64(d/2+1))
+	return d/2 + jitter
+}
+
+// splitmix64 is the canonical 64-bit mixer: deterministic, seedable,
+// and stateless, which is exactly what reproducible jitter needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -117,7 +117,7 @@ func TestL2FilterFeedsDRAMCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunFunctional(d, f, 0, 0)
+	res := mustFunctional(RunFunctional(d, f, 0, 0))
 	if res.Refs == 0 || res.Refs >= 20000 {
 		t.Fatalf("filtered refs = %d", res.Refs)
 	}

@@ -1,0 +1,20 @@
+package system
+
+// mustFunctional unwraps a functional runner's result in tests where a
+// typed-fault error is a test failure, not an expectation. Panicking
+// here is the sanctioned test-helper counterpart of the runners' typed
+// errors: production code reports, tests fail loudly.
+func mustFunctional(res FunctionalResult, err error) FunctionalResult {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// mustTiming is mustFunctional for timing runs.
+func mustTiming(res TimingResult, err error) TimingResult {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -104,13 +104,13 @@ func TestGoldenParityAllDesigns(t *testing.T) {
 		for _, kind := range kinds {
 			for _, mb := range []int{64, 256} {
 				mono := buildMonolith(t, kind, mb, scale)
-				want := RunFunctional(mono, parityTrace(t, wl, scale), warmup, refs)
+				want := mustFunctional(RunFunctional(mono, parityTrace(t, wl, scale), warmup, refs))
 
 				composed, err := BuildDesign(DesignSpec{Kind: kind, PaperCapacityMB: mb, Scale: scale})
 				if err != nil {
 					t.Fatalf("%s/%s/%dMB: BuildDesign: %v", wl, kind, mb, err)
 				}
-				got := RunFunctional(composed, parityTrace(t, wl, scale), warmup, refs)
+				got := mustFunctional(RunFunctional(composed, parityTrace(t, wl, scale), warmup, refs))
 
 				wantJSON, err := json.Marshal(want)
 				if err != nil {

@@ -25,14 +25,14 @@ func TestPartitionSchedulingParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fres := RunFunctionalResized(d1, randomTrace(6000, 33, 8), 2000, 4000, plan)
+		fres := mustFunctional(RunFunctionalResized(d1, randomTrace(6000, 33, 8), 2000, 4000, plan))
 
 		d2, err := BuildDesign(partitionSpec(kind))
 		if err != nil {
 			t.Fatal(err)
 		}
-		tres := RunTiming(d2, randomTrace(6000, 33, 8),
-			TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 4000, Resize: plan})
+		tres := mustTiming(RunTiming(d2, randomTrace(6000, 33, 8),
+			TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 4000, Resize: plan}))
 
 		fj, _ := json.Marshal(fres.Counters)
 		tj, _ := json.Marshal(tres.Counters)
@@ -77,7 +77,7 @@ func TestPartitionedDesignBasics(t *testing.T) {
 	if !ok {
 		t.Fatalf("built design is %T, want *dcache.Partitioned", d)
 	}
-	res := RunFunctional(d, randomTrace(20_000, 5, 8), 5000, 0)
+	res := mustFunctional(RunFunctional(d, randomTrace(20_000, 5, 8), 5000, 0))
 	if res.Partition == nil {
 		t.Fatal("functional result missing partition stats")
 	}

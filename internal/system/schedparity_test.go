@@ -24,14 +24,14 @@ func TestSchedulingParityTimingMatchesFunctional(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fres := RunFunctional(d1, randomTrace(6000, 21, 8), 2000, 4000)
+		fres := mustFunctional(RunFunctional(d1, randomTrace(6000, 21, 8), 2000, 4000))
 
 		d2, err := BuildDesign(build())
 		if err != nil {
 			t.Fatal(err)
 		}
-		tres := RunTiming(d2, randomTrace(6000, 21, 8),
-			TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 4000})
+		tres := mustTiming(RunTiming(d2, randomTrace(6000, 21, 8),
+			TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 4000}))
 
 		fj, _ := json.Marshal(fres.Counters)
 		tj, _ := json.Marshal(tres.Counters)
@@ -74,7 +74,7 @@ func TestSchedulingParityInvariantToControllerTiming(t *testing.T) {
 			cfg.Stacked = &stk
 			cfg.OffChip = &off
 		}
-		return RunTiming(d, randomTrace(5000, 23, 8), cfg)
+		return mustTiming(RunTiming(d, randomTrace(5000, 23, 8), cfg))
 	}
 	a, b := run(false), run(true)
 	if a.Cycles == b.Cycles {
@@ -111,9 +111,9 @@ func TestSchedulingParityOnSyntheticWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fres := RunFunctional(d1, trace(), 10000, 20000)
+	fres := mustFunctional(RunFunctional(d1, trace(), 10000, 20000))
 	d2, _ := BuildDesign(DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: 1.0 / 64})
-	tres := RunTiming(d2, trace(), TimingConfig{WarmupRefs: 10000, MaxRefs: 20000})
+	tres := mustTiming(RunTiming(d2, trace(), TimingConfig{WarmupRefs: 10000, MaxRefs: 20000}))
 	if fres.Counters != tres.Counters {
 		t.Fatalf("web-search counters diverge:\nfunctional: %+v\ntiming:     %+v",
 			fres.Counters, tres.Counters)

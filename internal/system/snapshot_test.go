@@ -89,7 +89,7 @@ func runRestored(t *testing.T, spec DesignSpec, warmup, refs int, plan *ResizePl
 	if skipped := memtrace.Skip(src, warmup); skipped != warmup {
 		t.Fatalf("skipped %d of %d warmup records", skipped, warmup)
 	}
-	return state.Measure(src, refs, plan)
+	return mustFunctional(state.Measure(src, refs, plan))
 }
 
 // TestSnapshotParityAllCompositions is the tentpole's correctness bar:
@@ -113,7 +113,7 @@ func TestSnapshotParityAllCompositions(t *testing.T) {
 			if err != nil {
 				t.Fatalf("BuildDesign: %v", err)
 			}
-			want := RunFunctional(design, snapTrace(t, scale), warmup, refs)
+			want := mustFunctional(RunFunctional(design, snapTrace(t, scale), warmup, refs))
 			got := runRestored(t, spec, warmup, refs, nil)
 
 			wantJSON, err := json.Marshal(want)
@@ -147,7 +147,7 @@ func TestSnapshotParityResized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := RunFunctionalResized(design, snapTrace(t, scale), warmup, refs, plan)
+	want := mustFunctional(RunFunctionalResized(design, snapTrace(t, scale), warmup, refs, plan))
 	got := runRestored(t, spec, warmup, refs, plan)
 
 	wantJSON, _ := json.Marshal(want)
@@ -179,7 +179,7 @@ func TestSnapshotParityTiming(t *testing.T) {
 		}
 		uncfg := cfg
 		uncfg.WarmupRefs = warmup
-		want := RunTiming(d1, snapTrace(t, scale), uncfg)
+		want := mustTiming(RunTiming(d1, snapTrace(t, scale), uncfg))
 
 		warmDesign, err := BuildDesign(spec)
 		if err != nil {
@@ -202,7 +202,7 @@ func TestSnapshotParityTiming(t *testing.T) {
 		}
 		src := snapTrace(t, scale)
 		memtrace.Skip(src, warmup)
-		got := RunTiming(state.Design(), src, cfg)
+		got := mustTiming(RunTiming(state.Design(), src, cfg))
 
 		wantJSON, _ := json.Marshal(want)
 		gotJSON, _ := json.Marshal(got)
@@ -264,31 +264,31 @@ func TestWarmCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	s1 := NewSimState(d1)
-	if hit, err := cache.Load(key, s1); err != nil || hit {
-		t.Fatalf("empty cache: hit=%v err=%v", hit, err)
+	if hit, ev, err := cache.Load(key, s1); err != nil || hit || ev != nil {
+		t.Fatalf("empty cache: hit=%v ev=%v err=%v", hit, ev, err)
 	}
 	s1.Warm(snapTrace(t, scale), 10_000)
 	if err := cache.Store(key, s1); err != nil {
 		t.Fatal(err)
 	}
-	want := s1.Measure(func() memtrace.Source {
+	want := mustFunctional(s1.Measure(func() memtrace.Source {
 		src := snapTrace(t, scale)
 		memtrace.Skip(src, 10_000)
 		return src
-	}(), 10_000, nil)
+	}(), 10_000, nil))
 
 	d2, err := BuildDesign(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2 := NewSimState(d2)
-	hit, err := cache.Load(key, s2)
-	if err != nil || !hit {
-		t.Fatalf("warm cache: hit=%v err=%v", hit, err)
+	hit, ev, err := cache.Load(key, s2)
+	if err != nil || !hit || ev != nil {
+		t.Fatalf("warm cache: hit=%v ev=%v err=%v", hit, ev, err)
 	}
 	src := snapTrace(t, scale)
 	memtrace.Skip(src, 10_000)
-	got := s2.Measure(src, 10_000, nil)
+	got := mustFunctional(s2.Measure(src, 10_000, nil))
 
 	wantJSON, _ := json.Marshal(want)
 	gotJSON, _ := json.Marshal(got)

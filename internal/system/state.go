@@ -8,6 +8,7 @@ import (
 	"fpcache/internal/core"
 	"fpcache/internal/dcache"
 	"fpcache/internal/dram"
+	"fpcache/internal/fault"
 	"fpcache/internal/memtrace"
 	"fpcache/internal/snap"
 )
@@ -53,8 +54,11 @@ func (s *SimState) Design() dcache.Design { return s.design }
 // run drives up to n records (n <= 0 drains the source) through the
 // design, applying outcome operations to the trackers; with a non-nil
 // rz, the resize plan fires at measured-reference boundaries. Returns
-// the instruction count.
-func (s *SimState) run(src memtrace.Source, n int, plan *ResizePlan, rz Resizable) uint64 {
+// the instruction count, and a typed error (fault.ErrInvalidOps) if
+// the design emitted a structurally invalid op list — the run stops at
+// the offending reference so one bad composition fails one sweep
+// point, never the process.
+func (s *SimState) run(src memtrace.Source, n int, plan *ResizePlan, rz Resizable) (uint64, error) {
 	var refs, instrs uint64
 	resizeIdx := 0
 	for {
@@ -73,27 +77,34 @@ func (s *SimState) run(src memtrace.Source, n int, plan *ResizePlan, rz Resizabl
 		if rz != nil && refs%uint64(plan.PeriodRefs) == 0 {
 			s.ops = rz.Resize(plan.Fractions[resizeIdx%len(plan.Fractions)], s.ops[:0])
 			resizeIdx++
-			validateOps(s.design, s.ops, "resize transition")
+			if err := validateOps(s.design, s.ops, "resize transition"); err != nil {
+				return instrs, err
+			}
 			applyOps(s.ops, s.offT, s.stkT)
 		}
 	}
-	return instrs
+	return instrs, nil
 }
 
 // Warm replays n records through the design and trackers without
 // measuring — the warmup phase of a functional or timing run, and the
 // state a snapshot captures.
-func (s *SimState) Warm(src memtrace.Source, n int) {
-	if n > 0 {
-		s.run(src, n, nil, nil)
+func (s *SimState) Warm(src memtrace.Source, n int) error {
+	if n <= 0 {
+		return nil
 	}
+	_, err := s.run(src, n, nil, nil)
+	return err
 }
 
 // Measure runs up to maxRefs records (maxRefs <= 0 drains the source)
 // from the current state and returns the result, with all counters
 // relative to the state at entry. A non-nil plan schedules partition
-// resizes exactly as RunFunctionalResized documents.
-func (s *SimState) Measure(src memtrace.Source, maxRefs int, plan *ResizePlan) FunctionalResult {
+// resizes exactly as RunFunctionalResized documents. A typed error
+// (fault.ErrInvalidOps) reports a design that emitted a malformed op
+// list; the partial result accompanies it for diagnostics but must not
+// be reported as a measurement.
+func (s *SimState) Measure(src memtrace.Source, maxRefs int, plan *ResizePlan) (FunctionalResult, error) {
 	rz, _ := s.design.(Resizable)
 	if !plan.valid() {
 		rz = nil
@@ -112,7 +123,8 @@ func (s *SimState) Measure(src memtrace.Source, maxRefs int, plan *ResizePlan) F
 	}
 
 	res := FunctionalResult{Design: s.design.Name()}
-	res.Instructions = s.run(src, maxRefs, plan, rz)
+	instrs, err := s.run(src, maxRefs, plan, rz)
+	res.Instructions = instrs
 	res.Counters = s.design.Counters().Sub(ctr0)
 	res.Refs = res.Counters.Accesses()
 	res.OffChip = s.offT.Stats.Sub(off0)
@@ -125,7 +137,7 @@ func (s *SimState) Measure(src memtrace.Source, maxRefs int, plan *ResizePlan) F
 		st := part().Sub(pt0)
 		res.Partition = &st
 	}
-	return res
+	return res, err
 }
 
 // SnapshotMeta identifies the run a warm state was built from:
@@ -196,13 +208,18 @@ func (s *SimState) Restore(r io.Reader, want SnapshotMeta) error {
 	})
 }
 
-// validateOps fails loudly on a structurally invalid operation list —
-// a malformed outcome DAG would otherwise deadlock the timing
+// validateOps rejects a structurally invalid operation list — a
+// malformed outcome DAG would otherwise deadlock the timing
 // simulator's dispatch (see dispatchOps) and silently strand pooled
-// buffers. A design emitting one is a programming error, so this
-// panics rather than threading errors through both runners.
-func validateOps(design dcache.Design, ops []dcache.Op, what string) {
+// buffers. A design emitting one is a programming error, but on a
+// server-scale sweep it must fail its one point, not the process: the
+// error wraps fault.ErrInvalidOps so the sweep layer classifies and
+// reports it. (Tests that want the old fail-loudly behavior panic in
+// their own helpers.)
+func validateOps(design dcache.Design, ops []dcache.Op, what string) error {
 	if err := dcache.ValidateOps(ops); err != nil {
-		panic(fmt.Sprintf("system: design %q emitted an invalid %s op list: %v", design.Name(), what, err))
+		return fmt.Errorf("system: design %q emitted an invalid %s op list (%v): %w",
+			design.Name(), what, err, fault.ErrInvalidOps)
 	}
+	return nil
 }

@@ -127,7 +127,7 @@ type Resizable interface {
 // warmupRefs records warm the structures without being measured —
 // mirroring the paper's use of half of each trace for warmup (§5.4).
 // maxRefs <= 0 drains the source.
-func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int) FunctionalResult {
+func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int) (FunctionalResult, error) {
 	return RunFunctionalResized(design, src, warmupRefs, maxRefs, nil)
 }
 
@@ -141,9 +141,16 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 // The warmup/measure split is SimState's Warm and Measure, so a run
 // restored from a warm-state snapshot (SimState.Restore) continues
 // byte-identically to this uninterrupted form.
-func RunFunctionalResized(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int, plan *ResizePlan) FunctionalResult {
+//
+// The returned error is a typed fault (fault.ErrInvalidOps) when the
+// design emits a malformed operation list; it fails this one run, and
+// the tolerant sweep executor turns it into a per-point failure report
+// instead of a process crash.
+func RunFunctionalResized(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int, plan *ResizePlan) (FunctionalResult, error) {
 	s := NewSimState(design)
-	s.Warm(src, warmupRefs)
+	if err := s.Warm(src, warmupRefs); err != nil {
+		return FunctionalResult{Design: design.Name()}, err
+	}
 	return s.Measure(src, maxRefs, plan)
 }
 

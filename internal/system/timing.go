@@ -137,8 +137,11 @@ type demux struct {
 	highWater int
 	// validated counts the outcome DAGs checked so far; the first
 	// validateOutcomes outcomes per run are verified structurally so a
-	// malformed design fails loudly instead of deadlocking dispatch.
+	// malformed design fails its run instead of deadlocking dispatch.
 	validated int
+	// err is the first validation failure; once set, the demux stops
+	// producing records and the run returns the error.
+	err error
 
 	// Partition resize driver: when plan and rz are set, every
 	// plan.PeriodRefs drained references the split moves to the next
@@ -173,6 +176,9 @@ func newDemux(src memtrace.Source, design dcache.Design, cores, maxRefs int, scr
 // given core.
 func (d *demux) pull(core int) (timedRec, bool) {
 	for {
+		if d.err != nil {
+			return timedRec{}, false
+		}
 		if q := d.queues[core]; len(q) > 0 {
 			tr := q[0]
 			d.queues[core] = q[1:]
@@ -191,7 +197,11 @@ func (d *demux) pull(core int) (timedRec, bool) {
 		res := d.design.Access(rec, d.scratch)
 		if d.validated < validateOutcomes {
 			d.validated++
-			validateOps(d.design, res.Ops, "outcome")
+			if err := validateOps(d.design, res.Ops, "outcome"); err != nil {
+				d.err = err
+				d.done = true
+				return timedRec{}, false
+			}
 		}
 		d.scratch = res.Ops
 		ops := d.getOps(len(res.Ops))
@@ -207,7 +217,11 @@ func (d *demux) pull(core int) (timedRec, bool) {
 			// out of scratch, so the resize can reuse it.
 			d.scratch = d.rz.Resize(d.plan.Fractions[d.resizeIdx%len(d.plan.Fractions)], d.scratch[:0])
 			d.resizeIdx++
-			validateOps(d.design, d.scratch, "resize transition")
+			if err := validateOps(d.design, d.scratch, "resize transition"); err != nil {
+				d.err = err
+				d.done = true
+				return timedRec{}, false
+			}
 			buf := d.getOps(len(d.scratch))
 			copy(buf, d.scratch)
 			d.onResize(buf)
@@ -250,7 +264,12 @@ func (d *demux) putOps(buf []dcache.Op) {
 // RunFunctional over the same trace and invariant under controller
 // scheduling changes; timing only decides *when* the resulting DRAM
 // operations happen.
-func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) TimingResult {
+//
+// The returned error is a typed fault (fault.ErrInvalidOps) when the
+// design emits a malformed operation list; the demux stops producing
+// records, outstanding traffic drains, and the partial result
+// accompanies the error for diagnostics only.
+func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) (TimingResult, error) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 16
 	}
@@ -363,7 +382,7 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) Timi
 		res.ReadLatencyP90 = res.ReadLatency.Percentile(0.90)
 		res.ReadLatencyP99 = res.ReadLatency.Percentile(0.99)
 	}
-	return res
+	return res, dm.err
 }
 
 // dispatchOps turns an outcome's operation DAG into DRAM

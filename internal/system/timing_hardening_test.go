@@ -1,10 +1,12 @@
 package system
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"fpcache/internal/dcache"
+	"fpcache/internal/fault"
 	"fpcache/internal/memtrace"
 )
 
@@ -36,42 +38,38 @@ func (b *badResizable) Resize(memFraction float64, ops []dcache.Op) []dcache.Op 
 	return append(ops, dcache.Op{Level: dcache.Stacked, Addr: 0, Bytes: 64, DependsOn: 0})
 }
 
-// mustPanic runs fn and asserts it panics with a message mentioning
-// the design's validation failure.
-func mustPanic(t *testing.T, what string, fn func()) {
+// mustInvalidOps asserts a runner rejected a malformed op DAG with the
+// typed fault — returned, not panicked, so one bad design composition
+// fails one sweep point instead of the process.
+func mustInvalidOps(t *testing.T, what string, err error) {
 	t.Helper()
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatalf("%s: no panic; a malformed op DAG would deadlock the timing run silently", what)
-		}
-		msg, ok := r.(string)
-		if !ok || !strings.Contains(msg, "invalid") {
-			t.Fatalf("%s: unexpected panic %v", what, r)
-		}
-	}()
-	fn()
+	if err == nil {
+		t.Fatalf("%s: no error; a malformed op DAG would deadlock the timing run silently", what)
+	}
+	if !errors.Is(err, fault.ErrInvalidOps) {
+		t.Fatalf("%s: error does not wrap fault.ErrInvalidOps: %v", what, err)
+	}
+	if !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("%s: unexpected error %v", what, err)
+	}
 }
 
 // TestTimingRejectsCyclicOutcome pins that RunTiming validates the
-// leading outcomes of every run and fails loudly on a malformed DAG
+// leading outcomes of every run and fails its run on a malformed DAG
 // instead of deadlocking a core.
 func TestTimingRejectsCyclicOutcome(t *testing.T) {
-	mustPanic(t, "cyclic outcome", func() {
-		RunTiming(&badDesign{}, randomTrace(1000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 1000})
-	})
+	_, err := RunTiming(&badDesign{}, randomTrace(1000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 1000})
+	mustInvalidOps(t, "cyclic outcome", err)
 }
 
 // TestRunnersRejectCyclicResizeOps pins the same validation for
 // resize-transition op lists in both runners.
 func TestRunnersRejectCyclicResizeOps(t *testing.T) {
 	plan := &ResizePlan{PeriodRefs: 100, Fractions: []float64{0.25}}
-	mustPanic(t, "functional resize", func() {
-		RunFunctionalResized(&badResizable{}, randomTrace(1000, 5, 4), 0, 1000, plan)
-	})
-	mustPanic(t, "timing resize", func() {
-		RunTiming(&badResizable{}, randomTrace(1000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 1000, Resize: plan})
-	})
+	_, ferr := RunFunctionalResized(&badResizable{}, randomTrace(1000, 5, 4), 0, 1000, plan)
+	mustInvalidOps(t, "functional resize", ferr)
+	_, terr := RunTiming(&badResizable{}, randomTrace(1000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 1000, Resize: plan})
+	mustInvalidOps(t, "timing resize", terr)
 }
 
 // skewedTrace builds a trace whose records all name core 0 of a
@@ -105,13 +103,13 @@ func TestQueueHighWaterSkewedTrace(t *testing.T) {
 		return d
 	}
 
-	skew := RunTiming(build(), skewedTrace(refs), TimingConfig{Cores: 8, MLP: 2, MaxRefs: refs})
+	skew := mustTiming(RunTiming(build(), skewedTrace(refs), TimingConfig{Cores: 8, MLP: 2, MaxRefs: refs}))
 	if skew.QueueHighWater < refs/2 {
 		t.Fatalf("skewed trace high water %d; expected close to %d (the documented drain-ahead blowup)",
 			skew.QueueHighWater, refs)
 	}
 
-	even := RunTiming(build(), randomTrace(refs, 5, 8), TimingConfig{Cores: 8, MLP: 2, MaxRefs: refs})
+	even := mustTiming(RunTiming(build(), randomTrace(refs, 5, 8), TimingConfig{Cores: 8, MLP: 2, MaxRefs: refs}))
 	if even.QueueHighWater >= refs/2 {
 		t.Fatalf("evenly interleaved trace high water %d; queues should stay shallow", even.QueueHighWater)
 	}

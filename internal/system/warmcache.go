@@ -4,10 +4,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 
 	"fpcache/internal/dcache"
+	"fpcache/internal/fault"
 )
 
 // WarmCache is a content-keyed store of warm-state snapshots: one file
@@ -17,11 +21,33 @@ import (
 // state in milliseconds instead of re-paying the warmup references —
 // which is what lets a full RunAll sweep re-run cheaply while results
 // stay byte-identical (snapshot restore is exact by construction).
+//
+// The cache is an accelerator, never a correctness dependency: a
+// corrupt or identity-mismatched entry is quarantined (renamed aside,
+// never re-read) and reported as a miss, so the caller falls back to a
+// cold warmup and produces rows byte-identical to a never-cached run.
 type WarmCache struct {
 	dir string
+	// maxBytes caps the total size of stored snapshots; see SetMaxBytes.
+	maxBytes int64
+	// WrapReader/WrapWriter, when non-nil, wrap every snapshot file
+	// stream. They exist so a fault-injection harness can corrupt or
+	// fail cache I/O without the cache importing it; production runs
+	// leave them nil.
+	WrapReader func(io.Reader) io.Reader
+	WrapWriter func(io.Writer) io.Writer
 }
 
+// staleTempAge is how old an orphaned atomic-write temp file must be
+// before NewWarmCache sweeps it: old enough that no live writer still
+// owns it (a warmup takes seconds, not hours), young enough that a
+// crashed sweep's litter disappears on the next run.
+const staleTempAge = time.Hour
+
 // NewWarmCache opens (creating if needed) a snapshot cache directory.
+// Stale temp files abandoned by crashed writers are swept on open;
+// recent temps are left alone, since a concurrent worker may still be
+// writing them.
 func NewWarmCache(dir string) (*WarmCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("system: warm cache needs a directory")
@@ -29,11 +55,34 @@ func NewWarmCache(dir string) (*WarmCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("system: creating warm cache: %w", err)
 	}
-	return &WarmCache{dir: dir}, nil
+	c := &WarmCache{dir: dir}
+	c.sweepStaleTemps()
+	return c, nil
+}
+
+// sweepStaleTemps removes atomic-write temp files older than
+// staleTempAge — the residue of writers that crashed between CreateTemp
+// and Rename.
+func (c *WarmCache) sweepStaleTemps() {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.tmp*"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil && time.Since(fi.ModTime()) > staleTempAge {
+			os.Remove(m)
+		}
+	}
 }
 
 // Dir returns the cache directory.
 func (c *WarmCache) Dir() string { return c.dir }
+
+// SetMaxBytes caps the total bytes of stored snapshots; 0 (the
+// default) is unlimited. When a Store pushes the cache over the cap,
+// the oldest entries (by modification time) are evicted until it fits
+// again — an eviction only costs the evicted point its next warmup.
+func (c *WarmCache) SetMaxBytes(n int64) { c.maxBytes = n }
 
 // WarmKey identifies a warm state: everything that determines the
 // functional state after the warmup prefix. Two runs with equal keys
@@ -73,34 +122,87 @@ func (c *WarmCache) path(key WarmKey) string {
 	return filepath.Join(c.dir, key.Hash()+".warm")
 }
 
-// Load restores the snapshot for key into s, reporting whether one
-// existed. A present-but-unreadable snapshot is an error (restore may
-// have partially mutated s), never a silent miss.
-func (c *WarmCache) Load(key WarmKey, s *SimState) (bool, error) {
+// QuarantineDirName is the subdirectory quarantined snapshots move to.
+// path() only ever resolves dir/<hash>.warm, so a quarantined file can
+// never be re-read as a cache entry.
+const QuarantineDirName = "quarantine"
+
+// QuarantineEvent records one snapshot pulled out of service.
+type QuarantineEvent struct {
+	// Key is the entry's content hash.
+	Key string
+	// Path is where the corrupt file went ("" if it could only be
+	// deleted).
+	Path string
+	// Err is the corruption that triggered the quarantine.
+	Err error
+}
+
+// Load restores the snapshot for key into s. On a hit it returns
+// (true, nil, nil); on a plain miss (false, nil, nil).
+//
+// A present-but-unreadable snapshot splits by fault class: a transient
+// I/O failure (fault.ErrTransientIO) is returned as the error — the
+// file may be fine, so it is not quarantined and the caller's retry
+// policy decides; any other restore failure (corruption, identity
+// mismatch, truncation) quarantines the entry and reports a miss with
+// the event. Either way a failed restore may have partially mutated s,
+// so the caller must rebuild its state fresh before warming cold or
+// retrying — never measure from a partially restored state.
+func (c *WarmCache) Load(key WarmKey, s *SimState) (bool, *QuarantineEvent, error) {
 	f, err := os.Open(c.path(key))
 	if os.IsNotExist(err) {
-		return false, nil
+		return false, nil, nil
 	}
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	defer f.Close()
-	if err := s.Restore(f, key.Meta()); err != nil {
-		return false, fmt.Errorf("system: restoring warm state %s: %w", c.path(key), err)
+	var r io.Reader = f
+	if c.WrapReader != nil {
+		r = c.WrapReader(r)
 	}
-	return true, nil
+	if err := s.Restore(r, key.Meta()); err != nil {
+		err = fmt.Errorf("system: restoring warm state %s: %w", c.path(key), err)
+		if fault.Retryable(err) {
+			return false, nil, err
+		}
+		return false, c.quarantine(key, err), nil
+	}
+	return true, nil, nil
+}
+
+// quarantine moves a corrupt snapshot aside (best effort: deleted if
+// the rename fails) so it is never re-read, and returns the event.
+func (c *WarmCache) quarantine(key WarmKey, cause error) *QuarantineEvent {
+	ev := &QuarantineEvent{Key: key.Hash(), Err: cause}
+	src := c.path(key)
+	qdir := filepath.Join(c.dir, QuarantineDirName)
+	dst := filepath.Join(qdir, key.Hash()+".warm")
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if err := os.Rename(src, dst); err == nil {
+			ev.Path = dst
+			return ev
+		}
+	}
+	os.Remove(src)
+	return ev
 }
 
 // Store writes s's snapshot for key, atomically (write to a temp file,
 // rename into place) so concurrent writers of the same key cannot
-// expose a torn snapshot.
+// expose a torn snapshot, then enforces the size cap.
 func (c *WarmCache) Store(key WarmKey, s *SimState) error {
 	f, err := os.CreateTemp(c.dir, key.Hash()+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	if err := s.Snapshot(f, key.Meta()); err != nil {
+	var w io.Writer = f
+	if c.WrapWriter != nil {
+		w = c.WrapWriter(w)
+	}
+	if err := s.Snapshot(w, key.Meta()); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("system: writing warm state: %w", err)
@@ -112,6 +214,48 @@ func (c *WarmCache) Store(key WarmKey, s *SimState) error {
 	if err := os.Rename(tmp, c.path(key)); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	return c.enforceCap()
+}
+
+// enforceCap evicts oldest-first (modification time, then name for a
+// deterministic tie order) until stored snapshots fit the cap.
+func (c *WarmCache) enforceCap() error {
+	if c.maxBytes <= 0 {
+		return nil
+	}
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.warm"))
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	var entries []entry
+	var total int64
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue // concurrently evicted or quarantined
+		}
+		entries = append(entries, entry{m, fi.Size(), fi.ModTime()})
+		total += fi.Size()
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mod.Equal(entries[j].mod) {
+			return entries[i].mod.Before(entries[j].mod)
+		}
+		return entries[i].path < entries[j].path
+	})
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err == nil || os.IsNotExist(err) {
+			total -= e.size
+		}
 	}
 	return nil
 }

@@ -1,0 +1,224 @@
+package system
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fpcache/internal/synth"
+)
+
+// wcSpec is the small design the warm-cache robustness tests store.
+func wcSpec() DesignSpec {
+	return DesignSpec{Kind: KindFootprint, PaperCapacityMB: 64, Scale: 1.0 / 64}
+}
+
+// wcKey builds a cache key over wcSpec, varied by seed.
+func wcKey(seed int64) WarmKey {
+	return WarmKey{Workload: synth.WebSearch, Seed: seed, Scale: 1.0 / 64, WarmupRefs: 0, Spec: wcSpec()}
+}
+
+// wcState builds a fresh SimState for wcSpec.
+func wcState(t *testing.T) *SimState {
+	t.Helper()
+	d, err := BuildDesign(wcSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSimState(d)
+}
+
+// TestWarmCacheTornTempNeverVisible pins the crash-mid-write atomicity
+// contract: a writer that died between CreateTemp and Rename leaves a
+// temp file that is never served as a cache entry, and a recent temp
+// (possibly a live concurrent writer's) survives reopening the cache.
+func TestWarmCacheTornTempNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewWarmCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := wcKey(1)
+	torn := filepath.Join(dir, key.Hash()+".tmp12345")
+	if err := os.WriteFile(torn, []byte("half a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if hit, ev, err := cache.Load(key, wcState(t)); err != nil || hit || ev != nil {
+		t.Fatalf("torn temp served as an entry: hit=%v ev=%v err=%v", hit, ev, err)
+	}
+	// Reopening must leave the recent temp alone — its writer may be
+	// alive on another worker.
+	if _, err := NewWarmCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); err != nil {
+		t.Fatalf("recent temp file swept: %v", err)
+	}
+}
+
+// TestWarmCacheStaleTempSweep pins the other half: temps older than the
+// stale age are residue of crashed writers and are removed on open.
+func TestWarmCacheStaleTempSweep(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewWarmCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, wcKey(1).Hash()+".tmp999")
+	if err := os.WriteFile(stale, []byte("crashed writer residue"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWarmCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived reopen: %v", err)
+	}
+}
+
+// failAfterWriter errors once n bytes have passed — a disk that fills
+// mid-snapshot.
+type failAfterWriter struct {
+	w io.Writer
+	n int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	n, err := f.w.Write(p)
+	f.n -= n
+	if err == nil && f.n <= 0 {
+		err = errors.New("disk full")
+	}
+	return n, err
+}
+
+// TestWarmCacheStoreFailureLeavesNoLitter pins Store's cleanup: a write
+// error mid-snapshot removes the temp file and installs nothing.
+func TestWarmCacheStoreFailureLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewWarmCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.WrapWriter = func(w io.Writer) io.Writer { return &failAfterWriter{w: w, n: 100} }
+	if err := cache.Store(wcKey(1), wcState(t)); err == nil {
+		t.Fatal("Store succeeded through a failing writer")
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed Store left litter: %v", entries)
+	}
+}
+
+// TestWarmCacheQuarantineMovesEntryAside pins the quarantine mechanics
+// at the cache layer: a corrupt entry is renamed into the quarantine
+// subdirectory (never deleted silently, never re-read), the Load
+// reports the event as a miss, and the slot is immediately reusable.
+func TestWarmCacheQuarantineMovesEntryAside(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewWarmCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := wcKey(1)
+	if err := cache.Store(key, wcState(t)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key.Hash()+".warm")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[3] ^= 0x40 // corrupt the envelope header
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	hit, ev, err := cache.Load(key, wcState(t))
+	if err != nil || hit {
+		t.Fatalf("corrupt entry: hit=%v err=%v", hit, err)
+	}
+	if ev == nil || ev.Err == nil {
+		t.Fatalf("no quarantine event for a corrupt entry")
+	}
+	wantPath := filepath.Join(dir, QuarantineDirName, key.Hash()+".warm")
+	if ev.Path != wantPath {
+		t.Fatalf("quarantined to %q, want %q", ev.Path, wantPath)
+	}
+	if _, err := os.Stat(wantPath); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still in place: %v", err)
+	}
+	// The slot is now a plain miss and can be restored.
+	if hit, ev, err := cache.Load(key, wcState(t)); err != nil || hit || ev != nil {
+		t.Fatalf("after quarantine: hit=%v ev=%v err=%v", hit, ev, err)
+	}
+	if err := cache.Store(key, wcState(t)); err != nil {
+		t.Fatal(err)
+	}
+	if hit, ev, err := cache.Load(key, wcState(t)); err != nil || !hit || ev != nil {
+		t.Fatalf("re-stored entry: hit=%v ev=%v err=%v", hit, ev, err)
+	}
+}
+
+// TestWarmCacheSizeCapEvictsOldest pins the -state-cache-max contract:
+// when stored snapshots exceed the cap, the oldest entries (by mtime)
+// are evicted first, and newer entries survive.
+func TestWarmCacheSizeCapEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewWarmCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []WarmKey{wcKey(1), wcKey(2), wcKey(3)}
+	for i, k := range keys {
+		if err := cache.Store(k, wcState(t)); err != nil {
+			t.Fatal(err)
+		}
+		// Stagger mtimes: keys[0] oldest.
+		mod := time.Now().Add(time.Duration(i-len(keys)) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, k.Hash()+".warm"), mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := os.Stat(filepath.Join(dir, keys[0].Hash()+".warm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+
+	// Cap at ~2.5 entries, then store a fourth: the two oldest must go.
+	cache.SetMaxBytes(2*size + size/2)
+	k4 := wcKey(4)
+	if err := cache.Store(k4, wcState(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []WarmKey{keys[0], keys[1]} {
+		if hit, _, _ := cache.Load(k, wcState(t)); hit {
+			t.Fatalf("entry %d survived the cap", i)
+		}
+	}
+	for i, k := range []WarmKey{keys[2], k4} {
+		if hit, ev, err := cache.Load(k, wcState(t)); err != nil || !hit || ev != nil {
+			t.Fatalf("newest entry %d evicted: hit=%v ev=%v err=%v", i, hit, ev, err)
+		}
+	}
+}
