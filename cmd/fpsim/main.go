@@ -19,6 +19,16 @@
 // before measuring, and -restore loads one instead of simulating
 // warmup — the measured result is byte-identical either way.
 //
+// A long recorded trace can be simulated interval-parallel
+// (DESIGN.md §11): -intervals splits the measured region into
+// chunk-aligned intervals that run concurrently on -j workers and
+// merge into the exact serial result; -interval-cache persists
+// boundary checkpoints so runs after the first parallelize fully;
+// -sample-every measures only every k-th interval (with an
+// -interval-warmup cold pre-roll) and reports confidence intervals.
+// -skip fast-forwards a replay into the middle of a recording via the
+// chunk index, without decoding the skipped prefix.
+//
 // Usage:
 //
 //	fpsim -workload web-search -design footprint -capacity 256
@@ -28,6 +38,10 @@
 //	fpsim -design footprint+hybrid -trace-in run.trace
 //	fpsim -design footprint -checkpoint warm.snap
 //	fpsim -design footprint -restore warm.snap
+//	fpsim -design footprint -trace-in run.trace -skip 500000
+//	fpsim -design footprint -trace-in run.trace -intervals 8 -j 4
+//	fpsim -design footprint -trace-in run.trace -intervals 8 -interval-cache .ckpt
+//	fpsim -design footprint -trace-in run.trace -intervals 16 -sample-every 4
 //	fpsim -design footprint+memcache:50 -resize 0.25,0.75 -resize-every 250000
 //	fpsim -max-retries 2 -point-timeout 5m
 //	fpsim -fault-spec 'trace-read:flipbit:offset=64' -trace-in run.trace
@@ -73,7 +87,12 @@ func main() {
 		resizeN   = flag.Int("resize-every", 0, "resize cadence in measured references (requires -resize)")
 		workers   = flag.Int("j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
 		traceOut  = flag.String("trace-out", "", "record the reference stream to this trace file (functional mode, single point)")
-		traceIn   = flag.String("trace-in", "", "replay a recorded trace file instead of the generator (functional mode)")
+		traceIn   = flag.String("trace-in", "", "replay a recorded trace file instead of the generator (functional mode); '-' reads the trace from stdin")
+		skip      = flag.Int("skip", 0, "fast-forward N trace records before the run via the chunk index (requires a seekable -trace-in file)")
+		intervals = flag.Int("intervals", 0, "split the measured region into N chunk-aligned intervals and simulate them in parallel on -j workers (requires a seekable -trace-in file, single point)")
+		intCache  = flag.String("interval-cache", "", "content-keyed checkpoint directory for interval boundary states: a cold run populates it, later runs restore and parallelize (requires -intervals)")
+		sampleK   = flag.Int("sample-every", 0, "sampled mode: measure every k-th interval after a cold pre-roll instead of chaining exact state (requires -intervals)")
+		sampleW   = flag.Int("interval-warmup", 0, "cold pre-roll records before each sampled interval (default: the interval's own length; requires -sample-every)")
 		checkpt   = flag.String("checkpoint", "", "write the post-warmup warm-state snapshot to this file, then measure (functional mode, single point)")
 		restore   = flag.String("restore", "", "restore the warm state from this snapshot instead of simulating warmup (functional mode, single point)")
 		retries   = flag.Int("max-retries", 0, "retry a simulation point up to N times on retryable faults (transient I/O), with exponential backoff")
@@ -91,8 +110,8 @@ func main() {
 	if *mode != "functional" && *mode != "timing" {
 		fail(fmt.Errorf("unknown mode %q (functional or timing)", *mode))
 	}
-	if (*traceOut != "" || *traceIn != "") && *mode != "functional" {
-		fail(fmt.Errorf("-trace-out/-trace-in require -mode functional"))
+	if (*traceOut != "" || *traceIn != "") && *mode != "functional" && *intervals <= 0 {
+		fail(fmt.Errorf("-trace-out/-trace-in require -mode functional (or -intervals, which times each interval from the replayed trace)"))
 	}
 	if *traceOut != "" && *traceIn != "" {
 		fail(fmt.Errorf("-trace-out and -trace-in are mutually exclusive"))
@@ -105,6 +124,32 @@ func main() {
 	}
 	if (*checkpt != "" || *restore != "") && *traceOut != "" {
 		fail(fmt.Errorf("-checkpoint/-restore do not combine with -trace-out"))
+	}
+	if *skip > 0 {
+		switch {
+		case *traceIn == "":
+			fail(fmt.Errorf("-skip fast-forwards a recorded trace; it requires -trace-in"))
+		case *traceIn == "-":
+			fail(fmt.Errorf("-skip needs a seekable trace file to fast-forward via the chunk index; stdin is not seekable (replay from a file instead)"))
+		case *checkpt != "" || *restore != "":
+			fail(fmt.Errorf("-skip does not combine with -checkpoint/-restore (a restore already fast-forwards its warmup)"))
+		}
+	}
+	if *intervals > 0 {
+		switch {
+		case *traceIn == "":
+			fail(fmt.Errorf("-intervals simulates a recorded trace; it requires -trace-in"))
+		case *traceIn == "-":
+			fail(fmt.Errorf("-intervals needs a seekable trace file (each interval reads its own section); stdin is not seekable"))
+		case *traceOut != "" || *checkpt != "" || *restore != "":
+			fail(fmt.Errorf("-intervals does not combine with -trace-out/-checkpoint/-restore (use -interval-cache for boundary checkpoints)"))
+		case *skip > 0:
+			fail(fmt.Errorf("-intervals does not combine with -skip"))
+		case *faultSpec != "":
+			fail(fmt.Errorf("-intervals does not combine with -fault-spec"))
+		}
+	} else if *intCache != "" || *sampleK != 0 || *sampleW != 0 {
+		fail(fmt.Errorf("-interval-cache/-sample-every/-interval-warmup require -intervals"))
 	}
 
 	var inj *faultinject.Injector
@@ -168,6 +213,31 @@ func main() {
 	if (*checkpt != "" || *restore != "") && len(pts) > 1 {
 		fail(fmt.Errorf("-checkpoint/-restore address one run's warm state; got %d simulation points", len(pts)))
 	}
+	if *intervals > 0 {
+		if len(pts) > 1 {
+			fail(fmt.Errorf("-intervals parallelizes one run over its intervals; got %d simulation points (use -j without -intervals to sweep points)", len(pts)))
+		}
+		pol := sweep.Policy{Timeout: *timeout, Seed: *seed}
+		if *retries > 0 {
+			pol.MaxAttempts = *retries + 1
+			pol.Backoff = 100 * time.Millisecond
+		}
+		cfg := fpcache.Config{
+			Workload:         pts[0].workload,
+			Design:           fpcache.DesignKind(pts[0].design),
+			PaperCapacityMB:  pts[0].capMB,
+			Scale:            *scale,
+			Refs:             *refs,
+			WarmupRefs:       *warmup,
+			Seed:             *seed,
+			ResizePeriodRefs: *resizeN,
+			ResizeFractions:  fractions,
+		}
+		if err := runIntervalPoint(os.Stdout, cfg, *mode, *traceIn, *intCache, *intervals, *sampleK, *sampleW, *workers, pol); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	job := func(i int) (string, error) {
 		p := pts[i]
@@ -189,7 +259,7 @@ func main() {
 			if *checkpt != "" || *restore != "" {
 				res, err = runWarmStatePoint(cfg, *traceIn, *checkpt, *restore, inj)
 			} else {
-				res, err = runFunctionalPoint(cfg, *traceIn, *traceOut, inj)
+				res, err = runFunctionalPoint(cfg, *traceIn, *traceOut, *skip, inj)
 			}
 			if err != nil {
 				return "", err
@@ -282,22 +352,48 @@ func (t *teeSource) Next() (memtrace.Record, bool) {
 }
 
 // runFunctionalPoint runs one functional simulation, optionally
-// replaying its reference stream from a trace file (traceIn) or
-// recording it to one (traceOut). A recorded file contains the whole
-// stream — warmup prefix included — so a replay with the same
-// -warmup/-refs split reproduces the run bit-identically.
-func runFunctionalPoint(cfg fpcache.Config, traceIn, traceOut string, inj *faultinject.Injector) (fpcache.FunctionalResult, error) {
+// replaying its reference stream from a trace file (traceIn, "-" for
+// stdin) or recording it to one (traceOut). A recorded file contains
+// the whole stream — warmup prefix included — so a replay with the
+// same -warmup/-refs split reproduces the run bit-identically. A
+// positive skip fast-forwards that many records before the run via the
+// seekable reader's chunk index (no decode of the skipped prefix), so
+// one long recording serves runs over any of its regions.
+func runFunctionalPoint(cfg fpcache.Config, traceIn, traceOut string, skip int, inj *faultinject.Injector) (fpcache.FunctionalResult, error) {
 	switch {
 	case traceIn != "":
-		f, err := os.Open(traceIn)
-		if err != nil {
-			return fpcache.FunctionalResult{}, err
+		var src memtrace.Source
+		var srcErr func() error
+		if traceIn == "-" {
+			r := memtrace.NewReader(inj.Reader(faultinject.SiteTraceRead, os.Stdin))
+			src, srcErr = r, r.Err
+		} else {
+			f, err := os.Open(traceIn)
+			if err != nil {
+				return fpcache.FunctionalResult{}, err
+			}
+			defer f.Close()
+			if skip > 0 {
+				fr, err := memtrace.NewFileReader(inj.ReadSeeker(faultinject.SiteTraceRead, f))
+				if err != nil {
+					return fpcache.FunctionalResult{}, err
+				}
+				skipped, err := fr.SkipRecords(skip)
+				if err != nil {
+					return fpcache.FunctionalResult{}, err
+				}
+				if skipped < skip {
+					return fpcache.FunctionalResult{}, fmt.Errorf("trace %s holds only %d of the %d records -skip requested", traceIn, skipped, skip)
+				}
+				src, srcErr = fr, fr.Err
+			} else {
+				r := memtrace.NewReader(inj.Reader(faultinject.SiteTraceRead, f))
+				src, srcErr = r, r.Err
+			}
 		}
-		defer f.Close()
-		r := memtrace.NewReader(inj.Reader(faultinject.SiteTraceRead, f))
-		res, err := fpcache.RunFunctionalSource(cfg, r)
+		res, err := fpcache.RunFunctionalSource(cfg, src)
 		if err == nil {
-			err = r.Err()
+			err = srcErr()
 		}
 		if err == nil && res.Refs < uint64(cfg.Refs) {
 			// A short trace silently truncates the run; surface it so a
@@ -432,6 +528,79 @@ func runWarmStatePoint(cfg fpcache.Config, traceIn, checkpoint, restore string, 
 		return res, fmt.Errorf("trace exhausted after %d measured references (want %d)", res.Refs, cfg.Refs)
 	}
 	return res, nil
+}
+
+// runIntervalPoint runs one trace through the interval-parallel
+// runner (DESIGN.md §11): the measured region splits into chunk-aligned
+// intervals that simulate concurrently on -j workers and merge into the
+// exact serial result — the standard report block prints unchanged, so
+// output can be diffed against a serial replay, followed by
+// "interval"-prefixed plan lines. With -interval-cache, boundary
+// checkpoints persist: the first (cold) run executes serially while
+// storing them, and later runs restore and parallelize. With
+// -sample-every, only every k-th interval is measured after a cold
+// pre-roll, and the report carries the hit-ratio confidence interval
+// that approximation costs.
+func runIntervalPoint(w io.Writer, cfg fpcache.Config, mode, traceIn, cacheDir string, intervals, sampleK, sampleW, workers int, pol sweep.Policy) error {
+	f, err := os.Open(traceIn)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := memtrace.NewFileReader(f)
+	if err != nil {
+		return err
+	}
+	opt := system.IntervalOptions{
+		Spec: system.DesignSpec{
+			Kind:            string(cfg.Design),
+			PaperCapacityMB: cfg.PaperCapacityMB,
+			Scale:           cfg.Scale,
+		},
+		Workload:   cfg.Workload,
+		Seed:       cfg.Seed,
+		Scale:      cfg.Scale,
+		WarmupRefs: effectiveWarmup(cfg),
+		MaxRefs:    cfg.Refs,
+		Intervals:  intervals, Workers: workers,
+		SampleEvery: sampleK, SampleWarmup: sampleW,
+		Retry: pol,
+	}
+	if cfg.ResizePeriodRefs > 0 && len(cfg.ResizeFractions) > 0 {
+		opt.Plan = &system.ResizePlan{PeriodRefs: cfg.ResizePeriodRefs, Fractions: cfg.ResizeFractions}
+	}
+	if cacheDir != "" {
+		cache, err := system.NewWarmCache(cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Cache = cache
+	}
+	if mode == "timing" {
+		// The timing engine needs the workload's core count and MLP; the
+		// replayed records themselves carry everything else.
+		_, prof, err := fpcache.NewTrace(cfg)
+		if err != nil {
+			return err
+		}
+		opt.Timing = &system.TimingConfig{Cores: prof.Cores, MLP: prof.MLP}
+	}
+	rep, err := system.RunIntervals(tr, opt)
+	if err != nil {
+		return err
+	}
+	if rep.Timing != nil {
+		printTiming(w, cfg, *rep.Timing)
+	} else {
+		printFunctional(w, cfg, rep.Functional)
+	}
+	fmt.Fprintf(w, "interval plan:       %d interval(s) in %d segment(s), checkpoints restored %d stored %d\n",
+		len(rep.Intervals), rep.Segments, rep.Restored, rep.Stored)
+	if rep.Sampled {
+		fmt.Fprintf(w, "interval sampling:   measured %.0f%% of records, hit ratio %.4f ± %.4f (95%% CI)\n",
+			100*rep.MeasuredFraction, rep.HitRatioMean, rep.HitRatioCI95)
+	}
+	return nil
 }
 
 // printLists writes the valid workload, design, and policy names.

@@ -535,15 +535,17 @@ var registry = map[string]experiment{
 	"designspace": {DesignSpace, rowsOf(DesignSpaceRows)},
 	"latency":     {Latency, rowsOf(LatencyRows)},
 	"partition":   {Partition, rowsOf(PartitionRows)},
+	"intervals":   {Intervals, rowsOf(IntervalRows)},
 }
 
 // order lists experiments in paper order for "run everything"; the
-// design-space cross-product, the latency-distribution study, and the
-// partition study (not in the paper) run last.
+// design-space cross-product, the latency-distribution study, the
+// partition study, and the interval-parallel study (not in the paper)
+// run last.
 var order = []string{
 	"figure1", "table4", "figure4", "figure5", "figure6", "figure7",
 	"figure8", "figure9", "figure10", "figure11", "figure12", "ablation",
-	"designspace", "latency", "partition",
+	"designspace", "latency", "partition", "intervals",
 }
 
 // Names returns the experiment identifiers in paper order.

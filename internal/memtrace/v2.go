@@ -24,7 +24,9 @@ package memtrace
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -371,7 +373,9 @@ type FileReader struct {
 	br      *bufio.Reader
 	version uint16
 	total   uint64
+	size    int64  // file size in bytes
 	next    uint64 // index of the record the next Next returns
+	limit   uint64 // Next stops at this record index (total, or a section end)
 	err     error
 
 	// v2 state.
@@ -398,6 +402,7 @@ func NewFileReader(rs io.ReadSeeker) (*FileReader, error) {
 	if err != nil {
 		return nil, err
 	}
+	fr.size = size
 	if v == version1 {
 		if (size-8)%22 != 0 {
 			return nil, corruptf("v1 trace of %d bytes is truncated mid-record", size)
@@ -406,7 +411,37 @@ func NewFileReader(rs io.ReadSeeker) (*FileReader, error) {
 	} else if err := fr.loadIndex(size); err != nil {
 		return nil, err
 	}
+	fr.limit = fr.total
 	return fr, fr.SeekRecord(0)
+}
+
+// OpenSection returns an independent reader over the record range
+// [start, start+n) of the same trace file — the unit of work of the
+// interval-parallel runner. The section shares the parent's decoded
+// chunk index (read-only) but owns its file cursor, buffer, and
+// decoder state, so any number of sections (and the parent) can read
+// concurrently: the underlying reader must implement io.ReaderAt
+// (os.File does; sections read through positioned io.SectionReader
+// views, never the shared seek offset). Len still reports the whole
+// trace; the section's Next exhausts after n records.
+func (fr *FileReader) OpenSection(start, n uint64) (*FileReader, error) {
+	ra, ok := fr.rs.(io.ReaderAt)
+	if !ok {
+		return nil, fmt.Errorf("memtrace: trace reader %T is not an io.ReaderAt; concurrent sections need random access", fr.rs)
+	}
+	if start > fr.total || n > fr.total-start {
+		return nil, fmt.Errorf("memtrace: section [%d, %d) outside trace of %d records", start, start+n, fr.total)
+	}
+	sub := &FileReader{
+		rs:      io.NewSectionReader(ra, 0, fr.size),
+		version: fr.version,
+		total:   fr.total,
+		size:    fr.size,
+		limit:   start + n,
+		chunks:  fr.chunks,
+	}
+	sub.br = bufio.NewReaderSize(sub.rs, 1<<16)
+	return sub, sub.SeekRecord(start)
 }
 
 // loadIndex locates and decodes the v2 chunk index from the footer.
@@ -491,6 +526,24 @@ func (fr *FileReader) Chunks() (offsets, starts, counts []uint64) {
 		counts = append(counts, c.records)
 	}
 	return
+}
+
+// TraceID returns a stable content identifier for the trace — the
+// SHA-256 of the file bytes, "sha256:"-prefixed. Interval checkpoints
+// embed it in their warm-cache keys and snapshot metadata, so a
+// checkpoint of one trace can never continue a run over different
+// content. It reads the whole file once through the io.ReaderAt face
+// (required for sections anyway), leaving the reader's cursor alone.
+func (fr *FileReader) TraceID() (string, error) {
+	ra, ok := fr.rs.(io.ReaderAt)
+	if !ok {
+		return "", fmt.Errorf("memtrace: trace reader %T is not an io.ReaderAt; content hashing needs random access", fr.rs)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, io.NewSectionReader(ra, 0, fr.size)); err != nil {
+		return "", fmt.Errorf("memtrace: hashing trace content: %w", err)
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Err returns the first decoding error, if any.
@@ -631,7 +684,7 @@ func (fr *FileReader) SkipRecords(n int) (int, error) {
 		return 0, fr.err
 	}
 	k := uint64(n)
-	if left := fr.total - fr.next; k > left {
+	if left := fr.limit - fr.next; k > left {
 		k = left
 	}
 	if err := fr.SeekRecord(fr.next + k); err != nil {
@@ -642,7 +695,7 @@ func (fr *FileReader) SkipRecords(n int) (int, error) {
 
 // Next implements Source.
 func (fr *FileReader) Next() (Record, bool) {
-	if fr.err != nil || fr.next >= fr.total {
+	if fr.err != nil || fr.next >= fr.limit {
 		return Record{}, false
 	}
 	if fr.version == version1 {

@@ -115,6 +115,34 @@ func (h *Histogram) Add(x int64) {
 // Total returns the number of observations.
 func (h *Histogram) Total() int64 { return h.total }
 
+// Merge folds o's observations into h. Both histograms must share the
+// same bucket bounds — merging across geometries would silently
+// misattribute counts. Merging is exact: counts are integers, so a
+// histogram assembled from per-interval merges is bit-identical to one
+// that saw every observation directly, in any merge order (the
+// interval-parallel runner's determinism rests on this; the property
+// test in stats_test.go pins associativity and order independence).
+// A nil o is a no-op.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.Bounds) != len(o.Bounds) {
+		return fmt.Errorf("stats: merging histograms with %d and %d bounds", len(h.Bounds), len(o.Bounds))
+	}
+	for i := range h.Bounds {
+		if h.Bounds[i] != o.Bounds[i] {
+			return fmt.Errorf("stats: merging histograms with mismatched bound %d (%d vs %d)", i, h.Bounds[i], o.Bounds[i])
+		}
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Overflow += o.Overflow
+	h.total += o.total
+	return nil
+}
+
 // Percentile returns the value below which fraction p (in [0, 1]) of
 // the observations fall, linearly interpolated within the containing
 // bucket. Observations in the overflow bucket are attributed to the

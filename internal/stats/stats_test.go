@@ -274,3 +274,110 @@ func TestLogBounds(t *testing.T) {
 		t.Fatalf("unexpected bound count %d", len(b))
 	}
 }
+
+// TestHistogramMergeExact is the exactness property behind the
+// interval-parallel merge: splitting an observation stream into
+// arbitrary consecutive intervals, bucketing each interval into its
+// own histogram, and merging must reproduce the serial histogram —
+// counts, overflow, total, and interpolated P50/P90/P99 — bit for
+// bit, whatever the split and whatever the merge order.
+func TestHistogramMergeExact(t *testing.T) {
+	bounds := LatencyBounds()
+	f := func(raw []uint32, cuts []uint8) bool {
+		// Serial reference: every observation into one histogram.
+		serial := NewHistogram(bounds...)
+		for _, x := range raw {
+			serial.Add(int64(x))
+		}
+		// Split raw at pseudo-random cut points into intervals.
+		var parts []*Histogram
+		start := 0
+		for _, c := range cuts {
+			end := start + int(c)%(len(raw)-start+1)
+			h := NewHistogram(bounds...)
+			for _, x := range raw[start:end] {
+				h.Add(int64(x))
+			}
+			parts = append(parts, h)
+			start = end
+		}
+		last := NewHistogram(bounds...)
+		for _, x := range raw[start:] {
+			last.Add(int64(x))
+		}
+		parts = append(parts, last)
+
+		// Merge in reverse order to show order independence.
+		merged := NewHistogram(bounds...)
+		for i := len(parts) - 1; i >= 0; i-- {
+			if err := merged.Merge(parts[i]); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+		}
+		if merged.Total() != serial.Total() || merged.Overflow != serial.Overflow {
+			return false
+		}
+		for i := range merged.Counts {
+			if merged.Counts[i] != serial.Counts[i] {
+				return false
+			}
+		}
+		for _, p := range []float64{0.50, 0.90, 0.99} {
+			// Bit-for-bit: same counts feed the same interpolation.
+			if merged.Percentile(p) != serial.Percentile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeAssociative pins ((a+b)+c) == (a+(b+c)).
+func TestHistogramMergeAssociative(t *testing.T) {
+	mk := func(xs ...int64) *Histogram {
+		h := NewHistogram(10, 100, 1000)
+		for _, x := range xs {
+			h.Add(x)
+		}
+		return h
+	}
+	a, b, c := mk(5, 2000), mk(50, 500), mk(1, 999, 10000)
+	left := mk()
+	if err := left.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	left.Merge(b)
+	left.Merge(c)
+	bc := mk()
+	bc.Merge(b)
+	bc.Merge(c)
+	right := mk()
+	right.Merge(a)
+	right.Merge(bc)
+	if left.Total() != right.Total() || left.Overflow != right.Overflow {
+		t.Fatalf("associativity: totals %d/%d overflow %d/%d", left.Total(), right.Total(), left.Overflow, right.Overflow)
+	}
+	for i := range left.Counts {
+		if left.Counts[i] != right.Counts[i] {
+			t.Fatalf("associativity: bucket %d %d != %d", i, left.Counts[i], right.Counts[i])
+		}
+	}
+}
+
+// TestHistogramMergeRejectsMismatch: merging across different bucket
+// geometries must fail loudly, not misattribute counts.
+func TestHistogramMergeRejectsMismatch(t *testing.T) {
+	a := NewHistogram(10, 20)
+	if err := a.Merge(NewHistogram(10, 30)); err == nil {
+		t.Fatal("merge across mismatched bounds succeeded")
+	}
+	if err := a.Merge(NewHistogram(10, 20, 30)); err == nil {
+		t.Fatal("merge across different bound counts succeeded")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+}

@@ -37,6 +37,15 @@ type SimState struct {
 // warmStateKind is the snapshot envelope kind of a SimState.
 const warmStateKind = "fpcache-warmstate"
 
+// warmStateVersion versions the warm-state envelope layout — the run
+// identity fields wrapped around the design payload — independently of
+// dcache.SnapshotVersion, which versions the design-state layout
+// itself. Version 2 added interval identity (TraceID, AtRecord) so
+// interval checkpoints of a trace can never be mistaken for whole-run
+// warmup snapshots. Bumping either version invalidates old entries
+// cleanly: the content key misses and the envelope check rejects.
+const warmStateVersion = 2
+
 // NewSimState builds the functional run state for a design, with DRAM
 // trackers configured per the design's policies.
 func NewSimState(design dcache.Design) *SimState {
@@ -58,9 +67,13 @@ func (s *SimState) Design() dcache.Design { return s.design }
 // the design emitted a structurally invalid op list — the run stops at
 // the offending reference so one bad composition fails one sweep
 // point, never the process.
-func (s *SimState) run(src memtrace.Source, n int, plan *ResizePlan, rz Resizable) (uint64, error) {
+// startRefs offsets the resize schedule: an interval run resuming at
+// measured reference startRefs fires resizes at the same absolute
+// boundaries (and with the same fraction sequence) as a serial run
+// that is startRefs references in — the interval-parallel runner's
+// determinism depends on it.
+func (s *SimState) run(src memtrace.Source, n int, plan *ResizePlan, rz Resizable, startRefs uint64) (uint64, error) {
 	var refs, instrs uint64
-	resizeIdx := 0
 	for {
 		if n > 0 && refs >= uint64(n) {
 			break
@@ -74,9 +87,9 @@ func (s *SimState) run(src memtrace.Source, n int, plan *ResizePlan, rz Resizabl
 		out := s.design.Access(rec, s.ops)
 		applyOps(out.Ops, s.offT, s.stkT)
 		s.ops = out.Ops
-		if rz != nil && refs%uint64(plan.PeriodRefs) == 0 {
+		if rz != nil && (startRefs+refs)%uint64(plan.PeriodRefs) == 0 {
+			resizeIdx := int((startRefs+refs)/uint64(plan.PeriodRefs) - 1)
 			s.ops = rz.Resize(plan.Fractions[resizeIdx%len(plan.Fractions)], s.ops[:0])
-			resizeIdx++
 			if err := validateOps(s.design, s.ops, "resize transition"); err != nil {
 				return instrs, err
 			}
@@ -93,7 +106,7 @@ func (s *SimState) Warm(src memtrace.Source, n int) error {
 	if n <= 0 {
 		return nil
 	}
-	_, err := s.run(src, n, nil, nil)
+	_, err := s.run(src, n, nil, nil, 0)
 	return err
 }
 
@@ -105,6 +118,15 @@ func (s *SimState) Warm(src memtrace.Source, n int) error {
 // list; the partial result accompanies it for diagnostics but must not
 // be reported as a measurement.
 func (s *SimState) Measure(src memtrace.Source, maxRefs int, plan *ResizePlan) (FunctionalResult, error) {
+	return s.MeasureFrom(src, maxRefs, plan, 0)
+}
+
+// MeasureFrom is Measure for a state that is already measuredBefore
+// references into its measurement phase: the resize schedule continues
+// from that point, so an interval resumed mid-run fires resizes at the
+// same absolute boundaries with the same fractions as the serial run
+// it is a slice of.
+func (s *SimState) MeasureFrom(src memtrace.Source, maxRefs int, plan *ResizePlan, measuredBefore uint64) (FunctionalResult, error) {
 	rz, _ := s.design.(Resizable)
 	if !plan.valid() {
 		rz = nil
@@ -123,7 +145,7 @@ func (s *SimState) Measure(src memtrace.Source, maxRefs int, plan *ResizePlan) (
 	}
 
 	res := FunctionalResult{Design: s.design.Name()}
-	instrs, err := s.run(src, maxRefs, plan, rz)
+	instrs, err := s.run(src, maxRefs, plan, rz, measuredBefore)
 	res.Instructions = instrs
 	res.Counters = s.design.Counters().Sub(ctr0)
 	res.Refs = res.Counters.Accesses()
@@ -156,6 +178,13 @@ type SnapshotMeta struct {
 	Scale float64
 	// WarmupRefs is the warmup prefix length the state consumed.
 	WarmupRefs int
+	// TraceID names the trace content an interval checkpoint belongs
+	// to (the trace file's content hash), and AtRecord is the absolute
+	// record index the state was captured at. Both are zero for
+	// whole-run warmup snapshots, so an interval checkpoint can never
+	// silently continue a whole-run restore or vice versa.
+	TraceID  string
+	AtRecord uint64
 }
 
 // Snapshot serializes the complete warm state — run identity, design,
@@ -166,12 +195,14 @@ func (s *SimState) Snapshot(w io.Writer, meta SnapshotMeta) error {
 	if !ok {
 		return fmt.Errorf("system: design %q does not support snapshots", s.design.Name())
 	}
-	return snap.WriteEnvelope(w, warmStateKind, dcache.SnapshotVersion, func(sw *snap.Writer) {
+	return snap.WriteEnvelope(w, warmStateKind, warmStateVersion, func(sw *snap.Writer) {
 		sw.String(s.design.Name())
 		sw.String(meta.Workload)
 		sw.I64(meta.Seed)
 		sw.U64(math.Float64bits(meta.Scale))
 		sw.I64(int64(meta.WarmupRefs))
+		sw.String(meta.TraceID)
+		sw.U64(meta.AtRecord)
 		ds.SaveState(sw)
 		s.offT.Save(sw)
 		s.stkT.Save(sw)
@@ -188,13 +219,15 @@ func (s *SimState) Restore(r io.Reader, want SnapshotMeta) error {
 	if !ok {
 		return fmt.Errorf("system: design %q does not support snapshots", s.design.Name())
 	}
-	return snap.ReadEnvelope(r, warmStateKind, dcache.SnapshotVersion, func(sr *snap.Reader) error {
+	return snap.ReadEnvelope(r, warmStateKind, warmStateVersion, func(sr *snap.Reader) error {
 		if name := sr.String(); sr.Err() == nil && name != s.design.Name() {
 			return fmt.Errorf("system: snapshot of design %q, want %q", name, s.design.Name())
 		}
 		got := SnapshotMeta{Workload: sr.String(), Seed: sr.I64()}
 		got.Scale = math.Float64frombits(sr.U64())
 		got.WarmupRefs = int(sr.I64())
+		got.TraceID = sr.String()
+		got.AtRecord = sr.U64()
 		if sr.Err() == nil && got != want {
 			return fmt.Errorf("system: snapshot of run %+v, want %+v", got, want)
 		}

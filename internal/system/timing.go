@@ -36,6 +36,11 @@ type TimingConfig struct {
 	// operations dispatch into the controllers as background traffic
 	// at the cycle the boundary reference is drained.
 	Resize *ResizePlan
+	// ResizeStartRefs offsets the resize schedule: a run resuming at
+	// measured reference N of a longer trace fires resizes at the same
+	// absolute boundaries, with the same fractions, as the serial run
+	// it is a slice of (the interval-parallel runner's contract).
+	ResizeStartRefs uint64
 }
 
 // TimingResult summarizes a timing run.
@@ -147,11 +152,12 @@ type demux struct {
 	// plan.PeriodRefs drained references the split moves to the next
 	// fraction — in trace order, exactly as RunFunctionalResized —
 	// and the transition's ops are handed to onResize for dispatch.
-	plan      *ResizePlan
-	rz        Resizable
-	onResize  func(ops []dcache.Op)
-	drained   int
-	resizeIdx int
+	plan     *ResizePlan
+	rz       Resizable
+	onResize func(ops []dcache.Op)
+	drained  uint64
+	// startRefs offsets the resize schedule (TimingConfig.ResizeStartRefs).
+	startRefs uint64
 
 	// Timed outcomes outlive the next Access (their ops dispatch after
 	// the SRAM lead time and complete asynchronously), so each outcome
@@ -212,11 +218,11 @@ func (d *demux) pull(core int) (timedRec, bool) {
 			d.highWater = d.queued
 		}
 		d.drained++
-		if d.rz != nil && d.drained%d.plan.PeriodRefs == 0 {
+		if d.rz != nil && (d.startRefs+d.drained)%uint64(d.plan.PeriodRefs) == 0 {
+			resizeIdx := int((d.startRefs+d.drained)/uint64(d.plan.PeriodRefs) - 1)
 			// The boundary reference's Access already copied its ops
 			// out of scratch, so the resize can reuse it.
-			d.scratch = d.rz.Resize(d.plan.Fractions[d.resizeIdx%len(d.plan.Fractions)], d.scratch[:0])
-			d.resizeIdx++
+			d.scratch = d.rz.Resize(d.plan.Fractions[resizeIdx%len(d.plan.Fractions)], d.scratch[:0])
 			if err := validateOps(d.design, d.scratch, "resize transition"); err != nil {
 				d.err = err
 				d.done = true
@@ -309,6 +315,7 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) (Tim
 	dm := newDemux(src, design, cfg.Cores, cfg.MaxRefs, scratch)
 	if rz, ok := design.(Resizable); ok && cfg.Resize.valid() {
 		dm.plan, dm.rz = cfg.Resize, rz
+		dm.startRefs = cfg.ResizeStartRefs
 		dm.onResize = func(ops []dcache.Op) {
 			// Resize traffic is pure background: nothing gates on it,
 			// and the pooled buffer recycles when the last op lands.

@@ -94,17 +94,26 @@ type WarmKey struct {
 	Scale    float64
 	// WarmupRefs is the warmup prefix length.
 	WarmupRefs int
+	// TraceID and AtRecord identify an interval checkpoint: the trace
+	// file's content hash and the absolute record index the state was
+	// captured at. Whole-run warmup snapshots leave both zero. They
+	// participate in the content key, so an interval checkpoint can
+	// never collide with a whole-run snapshot of the same point — or
+	// with a checkpoint of different trace content at the same index.
+	TraceID  string
+	AtRecord uint64
 	// Spec is the design configuration (all fields participate).
 	Spec DesignSpec
 }
 
-// Hash derives the cache key. The snapshot format version is part of
-// the key material, so a format bump simply misses old entries instead
-// of tripping over them.
+// Hash derives the cache key. Both snapshot format versions (envelope
+// and design layout) are part of the key material, so a format bump
+// simply misses old entries instead of tripping over them.
 func (k WarmKey) Hash() string {
 	s := k.Spec.withDefaults()
 	h := sha256.New()
-	fmt.Fprintf(h, "snap=%d|wl=%s|seed=%d|scale=%g|warm=%d|", dcache.SnapshotVersion, k.Workload, k.Seed, k.Scale, k.WarmupRefs)
+	fmt.Fprintf(h, "snap=%d.%d|wl=%s|seed=%d|scale=%g|warm=%d|trace=%s|at=%d|",
+		warmStateVersion, dcache.SnapshotVersion, k.Workload, k.Seed, k.Scale, k.WarmupRefs, k.TraceID, k.AtRecord)
 	fmt.Fprintf(h, "kind=%s|mb=%d|dscale=%g|alloc=%s|map=%s|fill=%s|part=%s|page=%d|fht=%d|ways=%d",
 		s.Kind, s.PaperCapacityMB, s.Scale, s.Alloc, s.Mapping, s.Fill, s.Partition, s.PageBytes, s.FHTEntries, s.Ways)
 	return hex.EncodeToString(h.Sum(nil))
@@ -114,7 +123,10 @@ func (k WarmKey) Hash() string {
 // against) the snapshot itself — defense in depth behind the content
 // key.
 func (k WarmKey) Meta() SnapshotMeta {
-	return SnapshotMeta{Workload: k.Workload, Seed: k.Seed, Scale: k.Scale, WarmupRefs: k.WarmupRefs}
+	return SnapshotMeta{
+		Workload: k.Workload, Seed: k.Seed, Scale: k.Scale, WarmupRefs: k.WarmupRefs,
+		TraceID: k.TraceID, AtRecord: k.AtRecord,
+	}
 }
 
 // path returns the snapshot file for a key.

@@ -222,3 +222,59 @@ func TestWarmCacheSizeCapEvictsOldest(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmKeyIntervalIdentity pins the key-collision regression from
+// the interval-parallel runner: an interval checkpoint (trace content
+// hash + start record) must hash to a different cache entry than the
+// whole-run warmup snapshot of the same point, and than checkpoints of
+// the same record index over different trace content. A restore under
+// the wrong identity must also fail the snapshot's own meta check.
+func TestWarmKeyIntervalIdentity(t *testing.T) {
+	whole := wcKey(1)
+	interval := whole
+	interval.TraceID = "sha256:abc"
+	interval.AtRecord = 4096
+	otherTrace := interval
+	otherTrace.TraceID = "sha256:def"
+	otherStart := interval
+	otherStart.AtRecord = 8192
+
+	keys := map[string]string{
+		"whole-run":   whole.Hash(),
+		"interval":    interval.Hash(),
+		"other-trace": otherTrace.Hash(),
+		"other-start": otherStart.Hash(),
+	}
+	seen := map[string]string{}
+	for name, h := range keys {
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("keys %q and %q collide: %s", name, prev, h)
+		}
+		seen[h] = name
+	}
+
+	// Defense in depth: even with a forced key collision (copying the
+	// file), the snapshot's embedded meta rejects the wrong identity.
+	dir := t.TempDir()
+	cache, err := NewWarmCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Store(interval, wcState(t)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cache.path(interval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.path(whole), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hit, ev, err := cache.Load(whole, wcState(t))
+	if err != nil || hit {
+		t.Fatalf("interval snapshot restored under whole-run identity: hit=%v err=%v", hit, err)
+	}
+	if ev == nil {
+		t.Fatal("identity mismatch did not quarantine the entry")
+	}
+}
