@@ -1,0 +1,151 @@
+// Command fplint runs the repository's custom static-analysis suite
+// (internal/lint): determinism, hotpath, faulterr, and snapmeta. It
+// works standalone —
+//
+//	fplint ./...                   # whole-program run, full call-graph closure
+//	fplint -analyzers hotpath ./...
+//	fplint -list
+//
+// — and as a `go vet` plugin:
+//
+//	go build -o fplint ./cmd/fplint
+//	go vet -vettool=$PWD/fplint ./...
+//
+// In vettool mode each package is analyzed alone, so the hotpath
+// closure is package-local; CI's standalone step provides the full
+// cross-package closure. Exit status: 0 clean, 1 findings, 2 usage or
+// load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fpcache/internal/lint"
+	"fpcache/internal/lint/determinism"
+	"fpcache/internal/lint/faulterr"
+	"fpcache/internal/lint/hotpath"
+	"fpcache/internal/lint/snapmeta"
+)
+
+// scopes restricts analyzers to the packages whose contracts they
+// enforce; analyzers without an entry run everywhere. The lists mirror
+// DESIGN.md §12.
+var scopes = map[string][]string{
+	"determinism": {
+		"fpcache/internal/system",
+		"fpcache/internal/experiments",
+		"fpcache/internal/sweep",
+		"fpcache/internal/dcache",
+		"fpcache/internal/stats",
+	},
+	"faulterr": {
+		"fpcache/internal/snap",
+		"fpcache/internal/memtrace",
+		"fpcache/internal/system",
+	},
+}
+
+// Suite returns the fplint analyzers with their production scopes
+// applied. Shared with cmd/fplint's tests.
+func suite() []*lint.Analyzer {
+	all := []*lint.Analyzer{
+		determinism.Analyzer,
+		hotpath.Analyzer,
+		faulterr.Analyzer,
+		snapmeta.Analyzer,
+	}
+	out := make([]*lint.Analyzer, len(all))
+	for i, a := range all {
+		scoped := *a
+		if paths, ok := scopes[a.Name]; ok {
+			scoped.Match = matcher(paths)
+		}
+		out[i] = &scoped
+	}
+	return out
+}
+
+func matcher(paths []string) func(string) bool {
+	return func(pkg string) bool {
+		for _, p := range paths {
+			if pkg == p {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	// go vet probes the tool with -flags and -V=full, then invokes it
+	// once per package with a .cfg file.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" || a == "-flags" || a == "--flags" || strings.HasSuffix(a, ".cfg") {
+			return lint.VetMain(args, suite(), stdout, stderr)
+		}
+	}
+
+	fs := flag.NewFlagSet("fplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run")
+	dir := fs.String("C", ".", "directory to resolve package patterns in (the module root)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(stderr, "fplint: unknown analyzer %q (try -list)\n", name)
+			return 2
+		}
+		analyzers = sel
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "fplint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.RunProgram(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "fplint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "fplint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpcache/internal/lint"
+)
+
+// TestShippedTreeIsClean is the suite's own regression gate: the
+// checked-in tree must produce zero findings, so any new violation
+// fails CI rather than accumulating.
+func TestShippedTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	prog, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := lint.RunProgram(prog, suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("shipped tree has a finding: %s", d)
+	}
+}
+
+// TestSuiteScopes pins the driver registry: all four analyzers
+// present, scoped analyzers matching exactly their contract packages.
+func TestSuiteScopes(t *testing.T) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range suite() {
+		byName[a.Name] = a
+	}
+	for _, name := range []string{"determinism", "hotpath", "faulterr", "snapmeta"} {
+		if byName[name] == nil {
+			t.Fatalf("suite is missing analyzer %q", name)
+		}
+	}
+	if m := byName["determinism"].Match; m == nil ||
+		!m("fpcache/internal/experiments") || m("fpcache/internal/memtrace") {
+		t.Errorf("determinism scope wrong: must cover experiments, not memtrace")
+	}
+	if m := byName["faulterr"].Match; m == nil ||
+		!m("fpcache/internal/snap") || m("fpcache/internal/experiments") {
+		t.Errorf("faulterr scope wrong: must cover snap, not experiments")
+	}
+	if byName["hotpath"].Match != nil || byName["snapmeta"].Match != nil {
+		t.Errorf("hotpath and snapmeta must run unscoped")
+	}
+}
+
+// TestVetHandshake checks the `go vet -vettool` version protocol: the
+// tool must answer -V=full with a single stable line cmd/go can use as
+// a cache key.
+func TestVetHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := lint.VetMain([]string{"-V=full"}, suite(), &out, &errb); code != 0 {
+		t.Fatalf("-V=full exited %d, stderr: %s", code, errb.String())
+	}
+	got := strings.TrimSpace(out.String())
+	if got != lint.VetVersionString {
+		t.Errorf("-V=full printed %q, want %q", got, lint.VetVersionString)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"fpcache/internal/fault"
 	"fpcache/internal/memtrace"
 	"fpcache/internal/snap"
 )
@@ -10,7 +11,11 @@ import (
 // Warm-state serialization for the Footprint predictor structures: the
 // FHT and ST tables (contents, LRU ordering, and counters) plus the
 // policy's accumulated statistics. dcache.Engine embeds this state in
-// its own snapshot through the dcache.PolicyState interface.
+// its own snapshot through the dcache.PolicyState interface, which is
+// also where the layout's version const lives (dcache.SnapshotVersion);
+// the fplint snapmeta analyzer pins the serialized structs here.
+//
+//fplint:snapfields 0xcc6bbac3
 
 // Save serializes the FHT: table contents with LRU state, and the
 // query/cold/update counters.
@@ -66,7 +71,7 @@ func (p *FootprintPolicy) SaveState(w *snap.Writer) {
 func (p *FootprintPolicy) LoadState(r *snap.Reader) error {
 	r.Expect("footprint-policy")
 	if v := r.String(); r.Err() == nil && v != p.cfg.VariantName() {
-		return fmt.Errorf("core: snapshot of footprint variant %q, want %q", v, p.cfg.VariantName())
+		return fmt.Errorf("core: snapshot of footprint variant %q, want %q: %w", v, p.cfg.VariantName(), fault.ErrCorruptSnapshot)
 	}
 	loadStats(r, &p.extra)
 	if err := p.fht.Load(r); err != nil {

@@ -83,6 +83,11 @@ type Design interface {
 	// so steady-state accesses allocate nothing; passing nil is always
 	// valid when allocation does not matter. The returned Ops are only
 	// valid until the next Access with the same buffer.
+	//
+	// The fplint hotpath analyzer enforces the zero-allocation contract
+	// on every implementation and everything they call.
+	//
+	//fplint:hotpath
 	Access(rec memtrace.Record, ops []Op) Outcome
 	// Counters exposes accumulated access statistics.
 	Counters() Counters

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"fpcache/internal/fault"
 	"fpcache/internal/snap"
 )
 
@@ -23,7 +24,11 @@ import (
 // SnapshotVersion is the warm-state snapshot format version; bump it
 // whenever any component's serialized layout changes. Content-keyed
 // snapshot caches include it in their keys, so a version bump simply
-// invalidates old cache entries.
+// invalidates old cache entries. The fplint snapmeta analyzer pins the
+// serialized structs' field layout to the fingerprint below; if it
+// fires, update the codec, bump this const, and refresh the directive.
+//
+//fplint:snapfields 0x21ff85e3
 const SnapshotVersion = 1
 
 // snapshotKind is the envelope kind of a standalone design snapshot.
@@ -71,7 +76,7 @@ func RestoreDesign(r io.Reader, d Design) error {
 	}
 	return snap.ReadEnvelope(r, snapshotKind, SnapshotVersion, func(sr *snap.Reader) error {
 		if name := sr.String(); sr.Err() == nil && name != d.Name() {
-			return fmt.Errorf("dcache: snapshot of design %q, want %q", name, d.Name())
+			return fmt.Errorf("dcache: snapshot of design %q, want %q: %w", name, d.Name(), fault.ErrCorruptSnapshot)
 		}
 		return ds.LoadState(sr)
 	})
@@ -192,8 +197,8 @@ func (b *BlockCache) LoadState(r *snap.Reader) error {
 		return err
 	}
 	if rows != b.rows || mmSets != b.mmSets {
-		return fmt.Errorf("dcache: block snapshot geometry (%d rows, %d missmap sets), have (%d, %d)",
-			rows, mmSets, b.rows, b.mmSets)
+		return fmt.Errorf("dcache: block snapshot geometry (%d rows, %d missmap sets), have (%d, %d): %w",
+			rows, mmSets, b.rows, b.mmSets, fault.ErrCorruptSnapshot)
 	}
 	loadCounters(r, &b.ctr)
 	b.ForcedEvicts = r.U64()
@@ -244,14 +249,14 @@ func (e *Engine) LoadState(r *snap.Reader) error {
 		return err
 	}
 	if name != e.name {
-		return fmt.Errorf("dcache: engine snapshot of %q, want %q", name, e.name)
+		return fmt.Errorf("dcache: engine snapshot of %q, want %q: %w", name, e.name, fault.ErrCorruptSnapshot)
 	}
 	if capBytes != e.geom.CapacityBytes || pageBytes != e.geom.PageBytes || ways != e.geom.Ways || consistent != e.consistent {
-		return fmt.Errorf("dcache: engine snapshot geometry (%dB, %dB pages, %d ways, consistent=%v) does not match (%dB, %dB, %d, %v)",
-			capBytes, pageBytes, ways, consistent, e.geom.CapacityBytes, e.geom.PageBytes, e.geom.Ways, e.consistent)
+		return fmt.Errorf("dcache: engine snapshot geometry (%dB, %dB pages, %d ways, consistent=%v) does not match (%dB, %dB, %d, %v): %w",
+			capBytes, pageBytes, ways, consistent, e.geom.CapacityBytes, e.geom.PageBytes, e.geom.Ways, e.consistent, fault.ErrCorruptSnapshot)
 	}
 	if liveSets < 1 || liveSets > e.sets {
-		return fmt.Errorf("dcache: engine snapshot live sets %d out of range [1,%d]", liveSets, e.sets)
+		return fmt.Errorf("dcache: engine snapshot live sets %d out of range [1,%d]: %w", liveSets, e.sets, fault.ErrCorruptSnapshot)
 	}
 	e.liveSets = liveSets
 	loadCounters(r, &e.ctr)
@@ -261,7 +266,8 @@ func (e *Engine) LoadState(r *snap.Reader) error {
 	hasPolicy := r.Bool()
 	ps, ok := e.alloc.(PolicyState)
 	if hasPolicy != ok {
-		return fmt.Errorf("dcache: engine snapshot policy state %v, design policy %q stateful %v", hasPolicy, e.alloc.Name(), ok)
+		return fmt.Errorf("dcache: engine snapshot policy state %v, design policy %q stateful %v: %w",
+			hasPolicy, e.alloc.Name(), ok, fault.ErrCorruptSnapshot)
 	}
 	if hasPolicy {
 		return ps.LoadState(r)
@@ -291,7 +297,7 @@ func (g *Gate) SaveState(w *snap.Writer) {
 func (g *Gate) LoadState(r *snap.Reader) error {
 	r.Expect("gate")
 	if name := r.String(); r.Err() == nil && name != g.name {
-		return fmt.Errorf("dcache: gate snapshot of %q, want %q", name, g.name)
+		return fmt.Errorf("dcache: gate snapshot of %q, want %q: %w", name, g.name, fault.ErrCorruptSnapshot)
 	}
 	loadCounters(r, &g.ctr)
 	if err := g.filter.Load(r, func(sr *snap.Reader, v *uint32) { *v = uint32(sr.U64()) }); err != nil {
@@ -337,7 +343,7 @@ func (p *Partitioned) SaveState(w *snap.Writer) {
 func (p *Partitioned) LoadState(r *snap.Reader) error {
 	r.Expect("partition")
 	if name := r.String(); r.Err() == nil && name != p.name {
-		return fmt.Errorf("dcache: partition snapshot of %q, want %q", name, p.name)
+		return fmt.Errorf("dcache: partition snapshot of %q, want %q: %w", name, p.name, fault.ErrCorruptSnapshot)
 	}
 	loadCounters(r, &p.ctr)
 	s := &p.pstats
@@ -353,7 +359,8 @@ func (p *Partitioned) LoadState(r *snap.Reader) error {
 		return err
 	}
 	if memPages < 0 || memPages >= p.totalPages {
-		return fmt.Errorf("dcache: partition snapshot memory split %d of %d pages out of range", memPages, p.totalPages)
+		return fmt.Errorf("dcache: partition snapshot memory split %d of %d pages out of range: %w",
+			memPages, p.totalPages, fault.ErrCorruptSnapshot)
 	}
 	p.memPages = memPages
 	inner, ok := p.inner.(DesignState)

@@ -114,11 +114,13 @@ func intervalWorkloadRows(o Options, wl string) ([]IntervalRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	//fplint:ignore determinism feeds the documented wall-clock Seconds/Speedup fields; parity checks exclude them
 	start := time.Now()
 	serial, err := system.RunFunctional(design, serialSrc, o.WarmupRefs, o.Refs)
 	if err != nil {
 		return nil, err
 	}
+	//fplint:ignore determinism feeds the documented wall-clock Seconds/Speedup fields; parity checks exclude them
 	serialSecs := time.Since(start).Seconds()
 	serialJSON, err := json.Marshal(serial)
 	if err != nil {
@@ -147,11 +149,13 @@ func intervalWorkloadRows(o Options, wl string) ([]IntervalRow, error) {
 	mode := func(name string, tweak func(*system.IntervalOptions)) error {
 		run := opt
 		tweak(&run)
+		//fplint:ignore determinism feeds the documented wall-clock Seconds/Speedup fields; parity checks exclude them
 		start := time.Now()
 		rep, err := system.RunIntervals(tr, run)
 		if err != nil {
 			return fmt.Errorf("%s interval run: %w", name, err)
 		}
+		//fplint:ignore determinism feeds the documented wall-clock Seconds/Speedup fields; parity checks exclude them
 		secs := time.Since(start).Seconds()
 		got, err := json.Marshal(rep.Functional)
 		if err != nil {

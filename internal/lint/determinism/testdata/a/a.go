@@ -1,0 +1,62 @@
+// Package a exercises the determinism analyzer: wall-clock reads,
+// draws from the shared math/rand source, and order-sensitive map
+// iteration without a sort.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now in a deterministic package`
+	return time.Since(start) // want `time\.Since in a deterministic package`
+}
+
+func sharedRand() int {
+	return rand.Intn(10) // want `package-level math/rand\.Intn draws from the shared unseeded source`
+}
+
+func ownedRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is random, and this loop appends to a slice`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sendFromRange(m map[string]int, ch chan<- string) {
+	for k := range m { // want `map iteration order is random, and this loop sends on a channel`
+		ch <- k
+	}
+}
+
+func printFromRange(m map[string]int) {
+	for k, v := range m { // want `map iteration order is random, and this loop writes output`
+		fmt.Println(k, v)
+	}
+}
+
+func pureReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,10 @@
+// Package a holds a reasonless ignore directive: it suppresses
+// nothing and is itself reported alongside the original finding.
+package a
+
+import "time"
+
+func stamp() time.Time {
+	//fplint:ignore determinism
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package a holds a correctly suppressed determinism finding: the
+// directive names the analyzer and gives a reason, so the wall-clock
+// read on the next line reports nothing.
+package a
+
+import "time"
+
+// Stamp returns a wall-clock timestamp for a log header field that is
+// excluded from parity comparisons.
+func Stamp() time.Time {
+	//fplint:ignore determinism log header timestamp, excluded from parity comparison
+	return time.Now()
+}

@@ -1,0 +1,31 @@
+// Package a exercises the faulterr analyzer: every error built on a
+// warm/restore path must wrap a sentinel or a cause so the taxonomy
+// can classify it.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errCorrupt is a package-level sentinel — the taxonomy itself — and
+// stays legal.
+var errCorrupt = errors.New("corrupt artifact")
+
+func bareNew() error {
+	return errors.New("unclassifiable") // want `bare errors\.New on a warm/restore path`
+}
+
+func unwrapped(n int) error {
+	return fmt.Errorf("bad record %d", n) // want `fmt\.Errorf without %w on a warm/restore path`
+}
+
+func wrapped(n int) error {
+	return fmt.Errorf("bad record %d: %w", n, errCorrupt)
+}
+
+// corruptf is the helper pattern: the %w lives in a literal part of a
+// concatenated format, which still counts as wrapping.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("prefix: "+format+": %w", append(args, errCorrupt)...)
+}

@@ -1,0 +1,9 @@
+// Package a suppresses a faulterr finding with a reasoned directive.
+package a
+
+import "fmt"
+
+func misuse() error {
+	//fplint:ignore faulterr caller API misuse, intentionally unclassified
+	return fmt.Errorf("called before Init")
+}

@@ -1,0 +1,16 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"fpcache/internal/lint/hotpath"
+	"fpcache/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/a", hotpath.Analyzer)
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	linttest.Run(t, "testdata/ignored", hotpath.Analyzer)
+}

@@ -1,0 +1,71 @@
+// Package a exercises the hotpath analyzer. The annotated interface
+// method seeds the closure, which spans every implementation and
+// everything they call; functions outside the closure are free to
+// allocate.
+package a
+
+import "fmt"
+
+type op struct{ addr uint64 }
+
+// payload is 128 bytes, at the large-capture threshold.
+type payload struct{ vals [16]uint64 }
+
+type design interface {
+	//fplint:hotpath
+	access(addr uint64, ops []op) []op
+}
+
+type impl struct {
+	name    string
+	scratch []op
+}
+
+func (d *impl) access(addr uint64, ops []op) []op {
+	label := d.name + "!" // want `string concatenation allocates on the hot path`
+	_ = label
+	ops = append(ops, op{addr: addr})             // ok: caller-provided scratch
+	d.scratch = append(d.scratch, op{addr: addr}) // ok: receiver-owned buffer
+	out := ops[:0]
+	out = append(out, op{addr: addr}) // ok: derived from scratch
+	var fresh []op
+	fresh = append(fresh, op{addr: addr}) // want `append to fresh allocates beyond caller-provided scratch`
+	_ = fresh
+	helper(addr)
+	boxed(payload{}) // want `passing payload by value into interface any boxes`
+	capture(payload{})
+	guard(addr)
+	return out
+}
+
+func helper(addr uint64) {
+	counts := map[uint64]int{addr: 1} // want `map literal allocates on the hot path`
+	_ = counts
+	deeper(addr)
+}
+
+func deeper(addr uint64) {
+	m := make(map[uint64]int, 4) // want `make\(map\) allocates on the hot path`
+	m[addr] = 1
+}
+
+func boxed(v any) {}
+
+func capture(p payload) func() uint64 {
+	return func() uint64 { return p.vals[0] } // want `closure captures p`
+}
+
+func guard(addr uint64) {
+	if addr == 0 {
+		panic(fmt.Sprintf("zero addr %d", addr)) // ok: panic arguments are exempt
+	}
+}
+
+//fplint:hotpath
+func concreteHot() {
+	_ = fmt.Sprintf("x") // want `fmt\.Sprintf allocates and boxes its arguments on the hot path`
+}
+
+func coldSetup() map[uint64]int {
+	return map[uint64]int{1: 2} // ok: not reachable from a hot seed
+}

@@ -1,0 +1,15 @@
+// Package a suppresses a hotpath finding with a reasoned directive.
+package a
+
+type design interface {
+	//fplint:hotpath
+	access(addr uint64) int
+}
+
+type impl struct{ name string }
+
+func (d *impl) access(addr uint64) int {
+	//fplint:ignore hotpath error label built once on the failure path only
+	label := d.name + "!"
+	return len(label) + int(addr)
+}

@@ -1,0 +1,105 @@
+package lint
+
+// The //fplint:ignore directive. A finding is suppressed by a comment
+//
+//	//fplint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the same line as the finding, or on the line directly above it
+// when the directive stands alone. The reason is mandatory — an
+// invariant someone silenced without saying why is an invariant lost —
+// so a reasonless directive is reported (analyzer name "fplint") and
+// suppresses nothing.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//fplint:ignore"
+
+type ignoreDirective struct {
+	analyzers map[string]bool
+	pos       token.Position
+	ok        bool // has a reason
+}
+
+// parseIgnore parses one comment, returning nil if it is not an
+// ignore directive.
+func parseIgnore(fset *token.FileSet, c *ast.Comment) *ignoreDirective {
+	text, found := strings.CutPrefix(c.Text, ignorePrefix)
+	if !found {
+		return nil
+	}
+	// "//fplint:ignoreX" is some other word, not a directive.
+	if text != "" && text[0] != ' ' && text[0] != '\t' {
+		return nil
+	}
+	fields := strings.Fields(text)
+	d := &ignoreDirective{analyzers: map[string]bool{}, pos: fset.Position(c.Pos())}
+	if len(fields) == 0 {
+		return d // analyzer list missing; reported, suppresses nothing
+	}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name != "" {
+			d.analyzers[name] = true
+		}
+	}
+	d.ok = len(fields) > 1 // reason present
+	return d
+}
+
+// applyIgnores filters diags through the directives found in files and
+// appends a diagnostic for every malformed directive. Only diagnostics
+// positioned in files' filenames are touched, so the caller can apply
+// per package while accumulating across packages.
+func applyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	suppress := map[key]map[string]bool{}
+	inFiles := map[string]bool{}
+	var malformed []Diagnostic
+	for _, f := range files {
+		inFiles[fset.Position(f.Pos()).Filename] = true
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d := parseIgnore(fset, c)
+				if d == nil {
+					continue
+				}
+				if !d.ok {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "fplint",
+						Pos:      d.pos,
+						Message:  "//fplint:ignore needs an analyzer name and a reason: //fplint:ignore <analyzer> <why this is safe>",
+					})
+					continue
+				}
+				// The directive covers its own line and the next one, so
+				// it works both as a trailing comment and on a line of
+				// its own above the finding.
+				for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+					k := key{d.pos.Filename, line}
+					if suppress[k] == nil {
+						suppress[k] = map[string]bool{}
+					}
+					for a := range d.analyzers {
+						suppress[k][a] = true
+					}
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if inFiles[d.Pos.Filename] {
+			if s := suppress[key{d.Pos.Filename, d.Pos.Line}]; s != nil && s[d.Analyzer] {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, malformed...)
+}

@@ -1,0 +1,20 @@
+package snapmeta_test
+
+import (
+	"testing"
+
+	"fpcache/internal/lint/linttest"
+	"fpcache/internal/lint/snapmeta"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/a", snapmeta.Analyzer)
+}
+
+func TestCorrectDirectiveIsClean(t *testing.T) {
+	linttest.Run(t, "testdata/good", snapmeta.Analyzer)
+}
+
+func TestStaleFingerprint(t *testing.T) {
+	linttest.Run(t, "testdata/mismatch", snapmeta.Analyzer)
+}

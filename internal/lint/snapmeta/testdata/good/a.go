@@ -1,0 +1,44 @@
+// Package a is the clean snapmeta fixture: a paired, versioned
+// Snapshot/Restore and a correctly pinned carrier fingerprint.
+package a
+
+import (
+	"errors"
+	"io"
+
+	"fpcache/internal/snap"
+)
+
+//fplint:snapfields 0x1ef7f61f
+const stateVersion = 1
+
+var errFormat = errors.New("bad version")
+
+// Versioned pairs Snapshot with Restore and tags both with the layout
+// version.
+type Versioned struct{ n uint64 }
+
+func (v *Versioned) Snapshot(w io.Writer) error {
+	_, err := w.Write([]byte{stateVersion, byte(v.n)})
+	return err
+}
+
+func (v *Versioned) Restore(r io.Reader) error {
+	var buf [2]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return err
+	}
+	if buf[0] != stateVersion {
+		return errFormat
+	}
+	v.n = uint64(buf[1])
+	return nil
+}
+
+// meta is the carrier whose layout the directive above pins.
+type meta struct{ valid, dirty uint64 }
+
+func saveMeta(w *snap.Writer, m *meta) {
+	w.U64(m.valid)
+	w.U64(m.dirty)
+}

@@ -1,0 +1,159 @@
+package lint
+
+// Unitchecker-protocol support, so cmd/fplint works as a
+// `go vet -vettool=` plugin: cmd/go invokes the tool once per package
+// with a JSON config file describing the unit — source files, the
+// import map, and export-data files for every dependency — and expects
+// diagnostics on stderr with a non-zero exit. In this mode each
+// package is analyzed alone (Pass.Program is nil): the hotpath
+// analyzer degrades to package-local call-graph reasoning, which the
+// standalone `fplint ./...` CI step compensates for with the full
+// cross-package closure.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet config file that the
+// driver consumes (the file carries more; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetVersionString is printed for `fplint -V=full`; cmd/go keys its
+// analysis cache on it, so changing analyzer behavior should change
+// the suffix.
+const VetVersionString = "fplint version 1 (determinism,hotpath,faulterr,snapmeta)"
+
+// VetMain implements the vettool side of cmd/fplint: args are the
+// process arguments after the program name. It returns the process
+// exit code.
+func VetMain(args []string, analyzers []*Analyzer, stdout, stderr io.Writer) int {
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Fprintln(stdout, VetVersionString)
+			return 0
+		case "-flags", "--flags":
+			// cmd/go probes the tool's flag set before use; fplint takes
+			// no per-analyzer flags in vet mode.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+	var cfgPath string
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") {
+			cfgPath = a
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintln(stderr, "fplint: vet mode expects a .cfg file argument")
+		return 2
+	}
+	diags, err := vetUnit(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "fplint: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+func vetUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+	// cmd/go requires the facts output file to exist even though fplint
+	// publishes no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts file: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	pi, err := checkPackage(fset, sizes, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	// go vet also feeds test variants of each package through the tool.
+	// The invariants cover production code only — standalone fplint
+	// never loads _test.go files — so test syntax is type-checked (the
+	// variant does not compile without it) but not analyzed.
+	files := pi.Files[:0:0]
+	for _, f := range pi.Files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	pi.Files = files
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(cfg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pi.Files,
+			Pkg:      pi.Pkg,
+			Info:     pi.Info,
+			Sizes:    sizes,
+			Program:  nil,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, cfg.ImportPath, err)
+		}
+	}
+	diags = applyIgnores(fset, pi.Files, diags)
+	sortDiagnostics(diags)
+	return diags, nil
+}

@@ -28,6 +28,7 @@ import (
 // via %w; if that cause already carries the sentinel (a nested
 // corruptf), it is not appended again.
 func corruptf(format string, args ...any) error {
+	//fplint:ignore faulterr message-prefix step of the wrapping helper itself; the sentinel is attached just below
 	err := fmt.Errorf("memtrace: "+format, args...)
 	if errors.Is(err, fault.ErrCorruptTrace) {
 		return err

@@ -88,6 +88,7 @@ func (w *Writer) Bool(v bool) {
 func (w *Writer) String(s string) {
 	if len(s) > maxStringLen {
 		if w.err == nil {
+			//fplint:ignore faulterr save-side guard against writing an unreadable stream; nothing on disk to classify or quarantine
 			w.err = fmt.Errorf("snap: string of %d bytes exceeds the %d-byte limit", len(s), maxStringLen)
 		}
 		return

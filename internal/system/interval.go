@@ -151,6 +151,7 @@ func PlanIntervals(tr *memtrace.FileReader, warmupRefs, maxRefs, k int) ([]Inter
 		w = uint64(warmupRefs)
 	}
 	if w >= total {
+		//fplint:ignore faulterr plan validation rejecting impossible caller options; not a retryable or quarantinable artifact fault
 		return nil, fmt.Errorf("system: warmup of %d records consumes the whole %d-record trace", warmupRefs, total)
 	}
 	m := total - w

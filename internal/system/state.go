@@ -44,6 +44,11 @@ const warmStateKind = "fpcache-warmstate"
 // interval checkpoints of a trace can never be mistaken for whole-run
 // warmup snapshots. Bumping either version invalidates old entries
 // cleanly: the content key misses and the envelope check rejects.
+// The fplint snapmeta analyzer pins the serialized structs' field
+// layout to the fingerprint below; if it fires, update the codec, bump
+// this const, and refresh the directive.
+//
+//fplint:snapfields 0xe3ec1561
 const warmStateVersion = 2
 
 // NewSimState builds the functional run state for a design, with DRAM
@@ -193,6 +198,7 @@ type SnapshotMeta struct {
 func (s *SimState) Snapshot(w io.Writer, meta SnapshotMeta) error {
 	ds, ok := s.design.(dcache.DesignState)
 	if !ok {
+		//fplint:ignore faulterr caller misconfiguration, not a damaged artifact; ClassUnknown (no retry, no quarantine) is right
 		return fmt.Errorf("system: design %q does not support snapshots", s.design.Name())
 	}
 	return snap.WriteEnvelope(w, warmStateKind, warmStateVersion, func(sw *snap.Writer) {
@@ -217,11 +223,12 @@ func (s *SimState) Snapshot(w io.Writer, meta SnapshotMeta) error {
 func (s *SimState) Restore(r io.Reader, want SnapshotMeta) error {
 	ds, ok := s.design.(dcache.DesignState)
 	if !ok {
+		//fplint:ignore faulterr caller misconfiguration, not a damaged artifact; ClassUnknown (no retry, no quarantine) is right
 		return fmt.Errorf("system: design %q does not support snapshots", s.design.Name())
 	}
 	return snap.ReadEnvelope(r, warmStateKind, warmStateVersion, func(sr *snap.Reader) error {
 		if name := sr.String(); sr.Err() == nil && name != s.design.Name() {
-			return fmt.Errorf("system: snapshot of design %q, want %q", name, s.design.Name())
+			return fmt.Errorf("system: snapshot of design %q, want %q: %w", name, s.design.Name(), fault.ErrCorruptSnapshot)
 		}
 		got := SnapshotMeta{Workload: sr.String(), Seed: sr.I64()}
 		got.Scale = math.Float64frombits(sr.U64())
@@ -229,7 +236,7 @@ func (s *SimState) Restore(r io.Reader, want SnapshotMeta) error {
 		got.TraceID = sr.String()
 		got.AtRecord = sr.U64()
 		if sr.Err() == nil && got != want {
-			return fmt.Errorf("system: snapshot of run %+v, want %+v", got, want)
+			return fmt.Errorf("system: snapshot of run %+v, want %+v: %w", got, want, fault.ErrCorruptSnapshot)
 		}
 		if err := ds.LoadState(sr); err != nil {
 			return err

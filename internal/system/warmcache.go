@@ -50,6 +50,7 @@ const staleTempAge = time.Hour
 // writing them.
 func NewWarmCache(dir string) (*WarmCache, error) {
 	if dir == "" {
+		//fplint:ignore faulterr caller misconfiguration, not a damaged artifact; ClassUnknown (no retry, no quarantine) is right
 		return nil, fmt.Errorf("system: warm cache needs a directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -69,6 +70,7 @@ func (c *WarmCache) sweepStaleTemps() {
 		return
 	}
 	for _, m := range matches {
+		//fplint:ignore determinism mtime age gates temp-file cleanup only; no simulation result depends on it
 		if fi, err := os.Stat(m); err == nil && time.Since(fi.ModTime()) > staleTempAge {
 			os.Remove(m)
 		}
