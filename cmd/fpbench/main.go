@@ -48,7 +48,7 @@ func main() {
 		figure    = flag.String("figure", "", "experiment to run (default: all); see -list")
 		list      = flag.Bool("list", false, "list experiment identifiers and exit")
 		scale     = flag.Float64("scale", 1.0/16, "capacity scale factor (1.0 = paper scale)")
-		refs      = flag.Int("refs", 1_000_000, "measured references per functional configuration")
+		refs      = flag.Int("refs", 0, "measured references per functional configuration (default 1000000; the adaptive study defaults to 2000000)")
 		warmup    = flag.Int("warmup", 0, "warmup references (default: same as -refs)")
 		timing    = flag.Int("timingrefs", 0, "measured references per timing configuration (default: refs/4)")
 		seed      = flag.Int64("seed", 1, "random seed")

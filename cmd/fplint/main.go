@@ -40,11 +40,13 @@ var scopes = map[string][]string{
 		"fpcache/internal/sweep",
 		"fpcache/internal/dcache",
 		"fpcache/internal/stats",
+		"fpcache/internal/control",
 	},
 	"faulterr": {
 		"fpcache/internal/snap",
 		"fpcache/internal/memtrace",
 		"fpcache/internal/system",
+		"fpcache/internal/control",
 	},
 }
 

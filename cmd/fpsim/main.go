@@ -29,6 +29,14 @@
 // -skip fast-forwards a replay into the middle of a recording via the
 // chunk index, without decoding the skipped prefix.
 //
+// Partitioned designs (memcache:/memlow: specs) can resize their
+// memory/cache split while measuring: -resize replays a static
+// fraction schedule on a -resize-every cadence, and -adaptive replaces
+// the schedule with the online controller (DESIGN.md §13), which
+// scores a telemetry window every epoch and hill-climbs the split —
+// deterministically, so results stay byte-identical at any -j and
+// across run modes.
+//
 // Usage:
 //
 //	fpsim -workload web-search -design footprint -capacity 256
@@ -43,6 +51,7 @@
 //	fpsim -design footprint -trace-in run.trace -intervals 8 -interval-cache .ckpt
 //	fpsim -design footprint -trace-in run.trace -intervals 16 -sample-every 4
 //	fpsim -design footprint+memcache:50 -resize 0.25,0.75 -resize-every 250000
+//	fpsim -design subblock+memlow:0 -adaptive
 //	fpsim -max-retries 2 -point-timeout 5m
 //	fpsim -fault-spec 'trace-read:flipbit:offset=64' -trace-in run.trace
 //	fpsim -list
@@ -84,7 +93,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		mode      = flag.String("mode", "functional", "simulation mode: functional or timing")
 		resize    = flag.String("resize", "", "comma-separated memory fractions cycled by the partition resize driver (partitioned designs, e.g. 0.25,0.75)")
-		resizeN   = flag.Int("resize-every", 0, "resize cadence in measured references (requires -resize)")
+		resizeN   = flag.Int("resize-every", 0, "resize cadence in measured references (requires -resize or -adaptive)")
+		adaptive  = flag.Bool("adaptive", false, "adaptive partition resizing: an online controller scores a telemetry window every epoch and hill-climbs the split (partitioned designs; -resize-every sets the epoch length)")
 		workers   = flag.Int("j", 0, "parallel simulation points: 0 = all cores, 1 = serial")
 		traceOut  = flag.String("trace-out", "", "record the reference stream to this trace file (functional mode, single point)")
 		traceIn   = flag.String("trace-in", "", "replay a recorded trace file instead of the generator (functional mode); '-' reads the trace from stdin")
@@ -168,7 +178,11 @@ func main() {
 		}
 		fractions = append(fractions, v)
 	}
-	if (len(fractions) > 0) != (*resizeN > 0) {
+	if *adaptive {
+		if len(fractions) > 0 {
+			fail(fmt.Errorf("-adaptive replaces the static -resize schedule; set one or the other"))
+		}
+	} else if (len(fractions) > 0) != (*resizeN > 0) {
 		fail(fmt.Errorf("-resize and -resize-every must be set together"))
 	}
 
@@ -232,6 +246,7 @@ func main() {
 			Seed:             *seed,
 			ResizePeriodRefs: *resizeN,
 			ResizeFractions:  fractions,
+			AdaptiveResize:   *adaptive,
 		}
 		if err := runIntervalPoint(os.Stdout, cfg, *mode, *traceIn, *intCache, *intervals, *sampleK, *sampleW, *workers, pol); err != nil {
 			fail(err)
@@ -251,6 +266,7 @@ func main() {
 			Seed:             *seed,
 			ResizePeriodRefs: *resizeN,
 			ResizeFractions:  fractions,
+			AdaptiveResize:   *adaptive,
 		}
 		var buf bytes.Buffer
 		if *mode == "functional" {
@@ -479,6 +495,10 @@ func runWarmStatePoint(cfg fpcache.Config, traceIn, checkpoint, restore string, 
 	}
 
 	state := system.NewSimState(design)
+	// The resize policy is part of the simulation state (a stateful
+	// policy's window snapshots with it), so it installs before the
+	// restore/warm branch, not after.
+	state.SetPolicy(cfg.ResizePolicy())
 	warmup := effectiveWarmup(cfg)
 	meta := system.SnapshotMeta{Workload: cfg.Workload, Seed: cfg.Seed, Scale: cfg.Scale, WarmupRefs: warmup}
 	if restore != "" {
@@ -511,11 +531,7 @@ func runWarmStatePoint(cfg fpcache.Config, traceIn, checkpoint, restore string, 
 		}
 	}
 
-	var plan *system.ResizePlan
-	if cfg.ResizePeriodRefs > 0 && len(cfg.ResizeFractions) > 0 {
-		plan = &system.ResizePlan{PeriodRefs: cfg.ResizePeriodRefs, Fractions: cfg.ResizeFractions}
-	}
-	res, err := state.Measure(src, cfg.Refs, plan)
+	res, err := state.Measure(src, cfg.Refs)
 	if err != nil {
 		return res, err
 	}
@@ -566,7 +582,11 @@ func runIntervalPoint(w io.Writer, cfg fpcache.Config, mode, traceIn, cacheDir s
 		SampleEvery: sampleK, SampleWarmup: sampleW,
 		Retry: pol,
 	}
-	if cfg.ResizePeriodRefs > 0 && len(cfg.ResizeFractions) > 0 {
+	switch {
+	case cfg.AdaptiveResize:
+		ac := cfg.AdaptiveConfig()
+		opt.Adaptive = &ac
+	case cfg.ResizePeriodRefs > 0 && len(cfg.ResizeFractions) > 0:
 		opt.Plan = &system.ResizePlan{PeriodRefs: cfg.ResizePeriodRefs, Fractions: cfg.ResizeFractions}
 	}
 	if cacheDir != "" {

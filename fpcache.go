@@ -21,6 +21,7 @@ package fpcache
 import (
 	"fmt"
 
+	"fpcache/internal/control"
 	"fpcache/internal/dcache"
 	"fpcache/internal/memtrace"
 	"fpcache/internal/synth"
@@ -35,6 +36,9 @@ const (
 	SATSolver       = synth.SATSolver
 	WebFrontend     = synth.WebFrontend
 	WebSearch       = synth.WebSearch
+	// PhaseShift is the phase-shifting stress workload beyond the
+	// paper's set (see the "adaptive" experiment).
+	PhaseShift = synth.PhaseShift
 )
 
 // Workloads returns all workload names in presentation order.
@@ -176,14 +180,42 @@ type Config struct {
 	// capacity.
 	ResizePeriodRefs int
 	ResizeFractions  []float64
+	// AdaptiveResize replaces the static schedule with the online
+	// adaptive partition controller (internal/control): every epoch of
+	// measured references the controller scores a telemetry window
+	// (hit ratio and off-chip traffic) and hill-climbs the split, with
+	// deadband and cooldown bounding migration churn. ResizePeriodRefs
+	// sets the epoch length when positive (controller default
+	// otherwise); ResizeFractions is ignored. Requires a partitioned
+	// design; the controller's initial split matches the design spec's.
+	AdaptiveResize bool
 }
 
-// resizePlan returns the configured resize schedule, nil when unset.
-func (c Config) resizePlan() *system.ResizePlan {
+// ResizePolicy returns the configured resize policy — a fresh
+// adaptive controller when AdaptiveResize is set, the static schedule
+// when ResizePeriodRefs/ResizeFractions are, nil otherwise. The run
+// helpers call it internally; CLIs driving SimState directly install
+// it with SimState.SetPolicy before warming or restoring.
+func (c Config) ResizePolicy() system.ResizePolicy {
+	if c.AdaptiveResize {
+		return system.NewAdaptivePolicy(c.AdaptiveConfig())
+	}
 	if c.ResizePeriodRefs <= 0 || len(c.ResizeFractions) == 0 {
 		return nil
 	}
 	return &system.ResizePlan{PeriodRefs: c.ResizePeriodRefs, Fractions: c.ResizeFractions}
+}
+
+// AdaptiveConfig maps the facade config onto the controller's: the
+// epoch length comes from ResizePeriodRefs, and the initial fraction
+// from the design spec's partition share so the controller's model of
+// the split starts where the design actually is.
+func (c Config) AdaptiveConfig() control.Config {
+	cfg := control.Config{EpochRefs: c.ResizePeriodRefs}
+	if pct, ok := system.PartitionPercent(string(c.Design)); ok {
+		cfg.InitialFraction = float64(pct) / 100
+	}
+	return cfg
 }
 
 func (c Config) withDefaults() Config {
@@ -283,7 +315,7 @@ func RunFunctionalSource(c Config, src memtrace.Source) (system.FunctionalResult
 	if err != nil {
 		return system.FunctionalResult{}, err
 	}
-	return system.RunFunctionalResized(d, src, c.WarmupRefs, c.Refs, c.resizePlan())
+	return system.RunFunctionalResized(d, src, c.WarmupRefs, c.Refs, c.ResizePolicy())
 }
 
 // RunTiming executes an event-driven timing simulation.
@@ -305,6 +337,6 @@ func RunTiming(c Config) (system.TimingResult, error) {
 		MLP:        prof.MLP,
 		WarmupRefs: c.WarmupRefs,
 		MaxRefs:    c.Refs,
-		Resize:     c.resizePlan(),
+		Resize:     c.ResizePolicy(),
 	})
 }

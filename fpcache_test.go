@@ -35,7 +35,7 @@ func TestCapacityScaling(t *testing.T) {
 }
 
 func TestWorkloadsAndDesignsRegistries(t *testing.T) {
-	if len(Workloads()) != 6 {
+	if len(Workloads()) != 7 {
 		t.Fatalf("workloads = %v", Workloads())
 	}
 	if len(Designs()) != 9 {

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAdaptiveOracle is the phase-shift oracle regression: on the
+// workload the adaptive study is built around, the online controller
+// must end the run with a hit ratio at least as good as the best
+// static split it competes against — discovered online, starting from
+// the plain-cache corner — and it must do so identically at any
+// worker count. The run is fully deterministic (fixed seed, scale,
+// and controller config), so this pins an exact outcome, not a
+// statistical one.
+func TestAdaptiveOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length adaptive run in -short mode")
+	}
+	run := func(workers int) []AdaptiveRow {
+		rows, err := AdaptiveRows(Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rows
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("adaptive rows differ between workers=1 and workers=8:\n--- serial ---\n%+v\n--- parallel ---\n%+v", serial, parallel)
+	}
+
+	best, adaptive, ok := BestStatic(serial)
+	if !ok {
+		t.Fatalf("rows missing static or adaptive entries: %+v", serial)
+	}
+	if adaptive.HitRatio < best.HitRatio {
+		t.Fatalf("controller trails best static split (mem%%=%d): %.3f%% < %.3f%%",
+			best.MemPct, 100*adaptive.HitRatio, 100*best.HitRatio)
+	}
+	if adaptive.OffChipBytesPerRef > best.OffChipBytesPerRef {
+		t.Errorf("controller off-chip traffic %.2f B/ref exceeds best static's %.2f",
+			adaptive.OffChipBytesPerRef, best.OffChipBytesPerRef)
+	}
+	// The win must come from actual adaptation, not a lucky starting
+	// split: the controller starts at the plain-cache corner and has
+	// to move to gain anything.
+	if adaptive.Moves == 0 || adaptive.Resizes == 0 {
+		t.Fatalf("adaptive row never moved the split: %+v", adaptive)
+	}
+	if adaptive.Epochs == 0 {
+		t.Fatalf("adaptive row scored no epochs: %+v", adaptive)
+	}
+}
+
+// TestAdaptiveRowsShape checks the study's row layout on a short run:
+// static rows carry no controller state, the final row is the
+// controller's, and explicit Options run lengths are honored.
+func TestAdaptiveRowsShape(t *testing.T) {
+	o := Options{Refs: 150_000, WarmupRefs: 50_000, Workers: 4}
+	rows, err := AdaptiveRows(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(adaptiveMemPcts) + 1; len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for i, r := range rows {
+		adaptive := i == len(adaptiveMemPcts)
+		if r.Adaptive != adaptive {
+			t.Fatalf("row %d: Adaptive=%v, want %v", i, r.Adaptive, adaptive)
+		}
+		if !adaptive {
+			if r.MemPct != adaptiveMemPcts[i] {
+				t.Fatalf("row %d: MemPct=%d, want %d", i, r.MemPct, adaptiveMemPcts[i])
+			}
+			if r.Policy != "" || r.Moves != 0 || r.Epochs != 0 {
+				t.Fatalf("static row %d carries controller state: %+v", i, r)
+			}
+		} else {
+			if !strings.HasPrefix(r.Policy, "adaptive:") {
+				t.Fatalf("adaptive row policy label %q", r.Policy)
+			}
+			if r.Epochs == 0 {
+				t.Fatalf("adaptive row scored no epochs over %d refs: %+v", o.Refs, r)
+			}
+			if r.FinalFraction < 0 || r.FinalFraction > 1 {
+				t.Fatalf("final fraction %v out of range", r.FinalFraction)
+			}
+		}
+		if r.HitRatio <= 0 || r.HitRatio > 1 {
+			t.Fatalf("row %d: hit ratio %v out of range", i, r.HitRatio)
+		}
+	}
+}
+
+// TestAdaptiveOptionsDefaults pins the study's run-length defaulting:
+// an unset Refs runs the tuned full-length point, explicit values win.
+func TestAdaptiveOptionsDefaults(t *testing.T) {
+	o := adaptiveOptions(Options{})
+	if o.Refs != adaptiveMeasuredRefs || o.WarmupRefs != adaptiveWarmupRefs {
+		t.Fatalf("defaults: refs=%d warmup=%d, want %d/%d", o.Refs, o.WarmupRefs, adaptiveMeasuredRefs, adaptiveWarmupRefs)
+	}
+	o = adaptiveOptions(Options{Refs: 10_000})
+	if o.Refs != 10_000 || o.WarmupRefs != 10_000 {
+		t.Fatalf("explicit refs: refs=%d warmup=%d, want 10000/10000", o.Refs, o.WarmupRefs)
+	}
+	o = adaptiveOptions(Options{Refs: 10_000, WarmupRefs: 5_000})
+	if o.Refs != 10_000 || o.WarmupRefs != 5_000 {
+		t.Fatalf("explicit warmup: refs=%d warmup=%d, want 10000/5000", o.Refs, o.WarmupRefs)
+	}
+}

@@ -345,8 +345,9 @@ func (o Options) runTiming(design dcache.Design, workload string) (system.Timing
 	return o.runTimingResized(design, workload, nil)
 }
 
-// runTimingResized is runTiming with a partition resize schedule.
-func (o Options) runTimingResized(design dcache.Design, workload string, plan *system.ResizePlan) (system.TimingResult, error) {
+// runTimingResized is runTiming with a partition resize policy —
+// static schedule (*system.ResizePlan) or adaptive controller.
+func (o Options) runTimingResized(design dcache.Design, workload string, pol system.ResizePolicy) (system.TimingResult, error) {
 	src, prof, err := o.trace(workload)
 	if err != nil {
 		return system.TimingResult{}, err
@@ -356,7 +357,7 @@ func (o Options) runTimingResized(design dcache.Design, workload string, plan *s
 		MLP:        prof.MLP,
 		WarmupRefs: o.WarmupRefs,
 		MaxRefs:    o.TimingRefs,
-		Resize:     plan,
+		Resize:     pol,
 	})
 }
 
@@ -365,18 +366,32 @@ func (o Options) runTimingResized(design dcache.Design, workload string, plan *s
 // design's warm state is restored (or warmed once and stored) instead
 // of re-simulating the warmup prefix.
 func (o Options) buildFunctional(spec system.DesignSpec, workload string) (system.FunctionalResult, error) {
+	return o.buildFunctionalResized(spec, workload, nil)
+}
+
+// buildFunctionalResized is buildFunctional with a partition resize
+// policy. Warm-state snapshots are taken at the warmup boundary, where
+// a stateful policy (the adaptive controller) is still unprimed, so
+// the cache path installs the policy on the restored state and the
+// measured run is byte-identical to an uninterrupted resized run.
+func (o Options) buildFunctionalResized(spec system.DesignSpec, workload string, pol system.ResizePolicy) (system.FunctionalResult, error) {
 	if o.StateCache == "" || o.WarmupRefs <= 0 {
 		design, err := system.BuildDesign(spec)
 		if err != nil {
 			return system.FunctionalResult{}, err
 		}
-		return o.runFunctional(design, workload)
+		src, _, err := o.trace(workload)
+		if err != nil {
+			return system.FunctionalResult{}, err
+		}
+		return system.RunFunctionalResized(design, src, o.WarmupRefs, o.Refs, pol)
 	}
 	state, src, _, err := o.warmState(spec, workload)
 	if err != nil {
 		return system.FunctionalResult{}, err
 	}
-	return state.Measure(src, o.Refs, nil)
+	state.SetPolicy(pol)
+	return state.Measure(src, o.Refs)
 }
 
 // buildTiming constructs a design and runs one timing point.
@@ -389,13 +404,13 @@ func (o Options) buildTiming(spec system.DesignSpec, workload string) (system.Ti
 // warm-state cache: the design state after warmup is identical in both
 // modes (RunTiming's warmup is the same Access sequence), so one
 // snapshot per point serves every experiment that sweeps it.
-func (o Options) buildTimingResized(spec system.DesignSpec, workload string, plan *system.ResizePlan) (system.TimingResult, error) {
+func (o Options) buildTimingResized(spec system.DesignSpec, workload string, pol system.ResizePolicy) (system.TimingResult, error) {
 	if o.StateCache == "" || o.WarmupRefs <= 0 {
 		design, err := system.BuildDesign(spec)
 		if err != nil {
 			return system.TimingResult{}, err
 		}
-		return o.runTimingResized(design, workload, plan)
+		return o.runTimingResized(design, workload, pol)
 	}
 	state, src, prof, err := o.warmState(spec, workload)
 	if err != nil {
@@ -405,7 +420,7 @@ func (o Options) buildTimingResized(spec system.DesignSpec, workload string, pla
 		Cores:   prof.Cores,
 		MLP:     prof.MLP,
 		MaxRefs: o.TimingRefs,
-		Resize:  plan,
+		Resize:  pol,
 	})
 }
 
@@ -535,6 +550,7 @@ var registry = map[string]experiment{
 	"designspace": {DesignSpace, rowsOf(DesignSpaceRows)},
 	"latency":     {Latency, rowsOf(LatencyRows)},
 	"partition":   {Partition, rowsOf(PartitionRows)},
+	"adaptive":    {Adaptive, rowsOf(AdaptiveRows)},
 	"intervals":   {Intervals, rowsOf(IntervalRows)},
 }
 
@@ -545,7 +561,7 @@ var registry = map[string]experiment{
 var order = []string{
 	"figure1", "table4", "figure4", "figure5", "figure6", "figure7",
 	"figure8", "figure9", "figure10", "figure11", "figure12", "ablation",
-	"designspace", "latency", "partition", "intervals",
+	"designspace", "latency", "partition", "adaptive", "intervals",
 }
 
 // Names returns the experiment identifiers in paper order.

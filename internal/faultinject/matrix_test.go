@@ -19,6 +19,7 @@ import (
 	"fpcache/internal/experiments"
 	"fpcache/internal/fault"
 	"fpcache/internal/faultinject"
+	"fpcache/internal/testutil"
 )
 
 // matrixOptions is the small-but-real experiment configuration the
@@ -60,15 +61,6 @@ func rawRows(t *testing.T, rows any) []json.RawMessage {
 		t.Fatalf("rows %s: %v", buf, err)
 	}
 	return raw
-}
-
-func asJSON(t *testing.T, v any) string {
-	t.Helper()
-	buf, err := json.Marshal(v)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(buf)
 }
 
 // TestPointFaultMatrix drives every point-site fault class through
@@ -169,13 +161,13 @@ func TestPointFaultMatrix(t *testing.T) {
 				t.Fatalf("RowsWithReport: %v", err)
 			}
 			if len(rep.Failures) != len(tc.wantFailures) {
-				t.Fatalf("got %d failures, want %d: %s", len(rep.Failures), len(tc.wantFailures), asJSON(t, rep))
+				t.Fatalf("got %d failures, want %d: %s", len(rep.Failures), len(tc.wantFailures), testutil.AsJSON(t, rep))
 			}
 			for i, want := range tc.wantFailures {
 				f := rep.Failures[i]
 				if f.Disposition != want[0] || string(f.Class) != want[1] {
 					t.Errorf("failure %d: disposition=%q class=%q, want %q/%q (%s)",
-						i, f.Disposition, f.Class, want[0], want[1], asJSON(t, f))
+						i, f.Disposition, f.Class, want[0], want[1], testutil.AsJSON(t, f))
 				}
 				if f.Attempts < 1 {
 					t.Errorf("failure %d: attempts=%d", i, f.Attempts)
@@ -220,7 +212,7 @@ func TestSnapshotFaultMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := asJSON(t, neverCached)
+	want := testutil.AsJSON(t, neverCached)
 
 	// populate runs one clean cached sweep into dir and sanity-checks
 	// parity with the never-cached rows.
@@ -230,9 +222,9 @@ func TestSnapshotFaultMatrix(t *testing.T) {
 			t.Fatal(err)
 		}
 		if len(rep.Failures) != 0 {
-			t.Fatalf("clean cached run reported failures: %s", asJSON(t, rep))
+			t.Fatalf("clean cached run reported failures: %s", testutil.AsJSON(t, rep))
 		}
-		if got := asJSON(t, rows); got != want {
+		if got := testutil.AsJSON(t, rows); got != want {
 			t.Fatalf("cached run diverged from never-cached run\nnever-cached: %s\ncached:       %s", want, got)
 		}
 	}
@@ -249,11 +241,11 @@ func TestSnapshotFaultMatrix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := asJSON(t, rows); got != want {
+		if got := testutil.AsJSON(t, rows); got != want {
 			t.Fatalf("torn-write run diverged from clean rows")
 		}
 		if len(rep.Failures) != 0 {
-			t.Fatalf("torn writes should be silent until read back: %s", asJSON(t, rep))
+			t.Fatalf("torn writes should be silent until read back: %s", testutil.AsJSON(t, rep))
 		}
 
 		// Run 2: every read hits the torn snapshot. All 7 entries must
@@ -263,15 +255,15 @@ func TestSnapshotFaultMatrix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := asJSON(t, rows); got != want {
-			t.Fatalf("quarantine fallback diverged from never-cached rows\nwant: %s\ngot:  %s", want, asJSON(t, rows))
+		if got := testutil.AsJSON(t, rows); got != want {
+			t.Fatalf("quarantine fallback diverged from never-cached rows\nwant: %s\ngot:  %s", want, testutil.AsJSON(t, rows))
 		}
 		if len(rep.Failures) != 7 {
-			t.Fatalf("expected 7 quarantines, got %s", asJSON(t, rep))
+			t.Fatalf("expected 7 quarantines, got %s", testutil.AsJSON(t, rep))
 		}
 		for _, f := range rep.Failures {
 			if f.Disposition != experiments.DispositionQuarantined || f.Class != fault.ClassCorruptSnapshot {
-				t.Fatalf("unexpected failure: %s", asJSON(t, f))
+				t.Fatalf("unexpected failure: %s", testutil.AsJSON(t, f))
 			}
 		}
 
@@ -281,11 +273,11 @@ func TestSnapshotFaultMatrix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := asJSON(t, rows); got != want {
+		if got := testutil.AsJSON(t, rows); got != want {
 			t.Fatalf("recovered cache diverged from clean rows")
 		}
 		if len(rep.Failures) != 0 {
-			t.Fatalf("recovered cache still reporting failures: %s", asJSON(t, rep))
+			t.Fatalf("recovered cache still reporting failures: %s", testutil.AsJSON(t, rep))
 		}
 	})
 
@@ -300,15 +292,15 @@ func TestSnapshotFaultMatrix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := asJSON(t, rows); got != want {
+		if got := testutil.AsJSON(t, rows); got != want {
 			t.Fatalf("bitflip fallback diverged from never-cached rows")
 		}
 		if len(rep.Failures) != 7 {
-			t.Fatalf("expected 7 quarantines, got %s", asJSON(t, rep))
+			t.Fatalf("expected 7 quarantines, got %s", testutil.AsJSON(t, rep))
 		}
 		for _, f := range rep.Failures {
 			if f.Disposition != experiments.DispositionQuarantined || f.Class != fault.ClassCorruptSnapshot {
-				t.Fatalf("unexpected failure: %s", asJSON(t, f))
+				t.Fatalf("unexpected failure: %s", testutil.AsJSON(t, f))
 			}
 		}
 	})
@@ -322,11 +314,11 @@ func TestSnapshotFaultMatrix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := asJSON(t, rows); got != want {
+		if got := testutil.AsJSON(t, rows); got != want {
 			t.Fatalf("truncation fallback diverged from never-cached rows")
 		}
 		if len(rep.Failures) != 7 {
-			t.Fatalf("expected 7 quarantines, got %s", asJSON(t, rep))
+			t.Fatalf("expected 7 quarantines, got %s", testutil.AsJSON(t, rep))
 		}
 	})
 
@@ -344,15 +336,15 @@ func TestSnapshotFaultMatrix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := asJSON(t, rows); got != want {
+		if got := testutil.AsJSON(t, rows); got != want {
 			t.Fatalf("transient-retry run diverged from never-cached rows")
 		}
 		if len(rep.Failures) != 1 {
-			t.Fatalf("expected 1 retried point, got %s", asJSON(t, rep))
+			t.Fatalf("expected 1 retried point, got %s", testutil.AsJSON(t, rep))
 		}
 		f := rep.Failures[0]
 		if f.Disposition != experiments.DispositionRetried || f.Attempts != 3 {
-			t.Fatalf("unexpected failure: %s", asJSON(t, f))
+			t.Fatalf("unexpected failure: %s", testutil.AsJSON(t, f))
 		}
 	})
 }
@@ -375,7 +367,7 @@ func TestFaultedSweepDeterminismParity(t *testing.T) {
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		return run{asJSON(t, rows), asJSON(t, rep)}
+		return run{testutil.AsJSON(t, rows), testutil.AsJSON(t, rep)}
 	}
 
 	specs := []struct {
@@ -417,7 +409,7 @@ func TestFaultedSweepDeterminismParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)
 			}
-			return run{asJSON(t, rows), strings.ReplaceAll(asJSON(t, rep), dir, "<cache>")}
+			return run{testutil.AsJSON(t, rows), strings.ReplaceAll(testutil.AsJSON(t, rep), dir, "<cache>")}
 		}
 		serial := runQuarantine(1)
 		parallel := runQuarantine(4)

@@ -100,6 +100,25 @@ type Profile struct {
 	// DriftEvery mutates a third of the pattern templates every N
 	// visits (0 disables); models SAT Solver's evolving dataset.
 	DriftEvery int64
+	// PhaseEvery alternates the fresh-visit target distribution every N
+	// visits (0 disables): phases 0, 2, 4, ... confine draws to a small
+	// resident working set, phases 1, 3, 5, ... span the whole dataset.
+	// Models phase-shifting behavior (batch jobs alternating scan and
+	// aggregation passes) whose best stacked-capacity split moves at
+	// run time — the regime the adaptive partition controller targets.
+	PhaseEvery int64
+	// PhaseFrac is the small phase's working-set size as a fraction of
+	// the dataset. The slice sits at the middle of the address space,
+	// deliberately outside the low-address region a "memlow" partition
+	// pins, so the two phases genuinely disagree about the best split.
+	PhaseFrac float64
+	// PhasePinFrac applies during the whole-dataset phases: the
+	// probability a fresh draw targets a hot set occupying the lowest
+	// PhaseFrac of the dataset instead of a uniform scan draw. The scan
+	// traffic continuously pollutes an LRU cache out of the hot set,
+	// while a low-address memory partition pins it untouched — the
+	// mechanism that makes a large memory split win the scan phases.
+	PhasePinFrac float64
 	// Cores is the number of cores emitting the trace.
 	Cores int
 }
@@ -127,6 +146,15 @@ func (p Profile) Validate() error {
 	}
 	if p.Concurrency < 1 || p.PatternsPerClass < 1 || p.Cores < 1 {
 		return fmt.Errorf("synth %s: concurrency/patterns/cores must be positive", p.Name)
+	}
+	if p.PhaseEvery < 0 {
+		return fmt.Errorf("synth %s: negative PhaseEvery", p.Name)
+	}
+	if p.PhaseEvery > 0 && (p.PhaseFrac <= 0 || p.PhaseFrac >= 1) {
+		return fmt.Errorf("synth %s: PhaseFrac %g out of (0,1)", p.Name, p.PhaseFrac)
+	}
+	if p.PhasePinFrac < 0 || p.PhasePinFrac >= 1 {
+		return fmt.Errorf("synth %s: PhasePinFrac %g out of [0,1)", p.Name, p.PhasePinFrac)
 	}
 	return nil
 }
@@ -409,19 +437,45 @@ func (g *Generator) computeTemplate(classIdx, patternID int, epoch int64) (bits 
 // zipfRegion draws a region with Zipf-like popularity skew using the
 // power-law inverse-CDF approximation, then decorrelates rank from
 // address with a multiplicative hash so hot regions spread across
-// cache sets.
+// cache sets. Phase-shifting profiles (PhaseEvery) alternate the draw
+// between the whole dataset and a small slice at the middle of it.
 func (g *Generator) zipfRegion() int64 {
+	n := g.regions
+	var base int64
+	switch {
+	case g.prof.PhaseEvery > 0 && (g.started/g.prof.PhaseEvery)%2 == 0:
+		// Small phase: a PhaseFrac working set centered in the address
+		// space — cache-resident, and out of reach of a low-address
+		// memory partition.
+		n = g.phaseRegions()
+		base = (g.regions - n) / 2
+	case g.prof.PhaseEvery > 0 && g.rng.Float64() < g.prof.PhasePinFrac:
+		// Scan phase, hot draw: the pinnable hot set at the bottom of
+		// the address space. The remaining draws fall through to the
+		// whole-dataset scan that pollutes the cache.
+		n = g.phaseRegions()
+	}
 	u := g.rng.Float64()
 	var rank int64
 	if g.prof.ZipfTheta <= 0 {
-		rank = int64(u * float64(g.regions))
+		rank = int64(u * float64(n))
 	} else {
-		rank = int64(math.Pow(u, 1/(1-g.prof.ZipfTheta)) * float64(g.regions))
+		rank = int64(math.Pow(u, 1/(1-g.prof.ZipfTheta)) * float64(n))
 	}
-	if rank >= g.regions {
-		rank = g.regions - 1
+	if rank >= n {
+		rank = n - 1
 	}
-	// Golden-ratio multiplicative hash, folded into the region count.
+	// Golden-ratio multiplicative hash, folded into the phase's span.
 	h := uint64(rank) * 0x9E3779B97F4A7C15
-	return int64(h % uint64(g.regions))
+	return base + int64(h%uint64(n))
+}
+
+// phaseRegions is the size, in regions, of a phase-shifting profile's
+// confined slices (the small working set and the scan-phase hot set).
+func (g *Generator) phaseRegions() int64 {
+	n := int64(g.prof.PhaseFrac * float64(g.regions))
+	if n < 16 {
+		n = 16
+	}
+	return n
 }

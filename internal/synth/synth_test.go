@@ -234,7 +234,7 @@ func TestBurstsClusterPerCore(t *testing.T) {
 }
 
 func TestWorkloadRegistry(t *testing.T) {
-	if len(Names()) != 6 {
+	if len(Names()) != 7 {
 		t.Fatalf("workload count = %d", len(Names()))
 	}
 	if got := sortedNames(); len(got) != len(Names()) {
@@ -255,7 +255,7 @@ func TestWorkloadRegistry(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if got := len(All()); got != 6 {
+	if got := len(All()); got != 7 {
 		t.Fatalf("All() = %d profiles", got)
 	}
 }

@@ -17,6 +17,14 @@ const (
 	WebSearch       = "web-search"
 )
 
+// PhaseShift is a synthetic stress workload beyond the paper's set: it
+// alternates between a small cache-resident working set and uniform
+// scans of the whole dataset, so the best stacked-capacity split moves
+// at run time. It exists to exercise the adaptive partition controller
+// (internal/control) against static splits; see the "adaptive"
+// experiment.
+const PhaseShift = "phase-shift"
+
 // profiles is the registry of calibrated workload models. Pattern
 // mixes are calibrated against the page-density histograms of Fig. 4;
 // dataset sizes and gaps against the paper's §5.3 (memory footprints
@@ -152,6 +160,38 @@ var profiles = map[string]Profile{
 		MLP:              2,
 		Cores:            16,
 	},
+	// Phase-shift stress: phases 0, 2, ... work a small slice at the
+	// middle of the dataset (cache-resident at the full split, untouched
+	// by a low-address memory partition); phases 1, 3, ... scan the
+	// whole dataset uniformly, where an LRU cache churns (pages evict
+	// before their next touch) while a pinned memory region retains its
+	// share deterministically. The mix is singleton-heavy so hits come
+	// from residency across visits, not footprint prefetch within one —
+	// capacity decides, and no single static split wins both phases.
+	PhaseShift: {
+		Name: PhaseShift,
+		Classes: []Class{
+			{Weight: 0.55, MinBlocks: 1, MaxBlocks: 1},
+			{Weight: 0.25, MinBlocks: 2, MaxBlocks: 3},
+			{Weight: 0.12, MinBlocks: 4, MaxBlocks: 7},
+			{Weight: 0.08, MinBlocks: 8, MaxBlocks: 15, Sequential: true},
+		},
+		PatternsPerClass: 48,
+		DatasetBytes:     2 << 30,
+		Concurrency:      12000,
+		BurstLen:         6,
+		RevisitFrac:      0.05,
+		RecencyWindow:    600,
+		ZipfTheta:        0,
+		WriteFrac:        0.30,
+		RepeatFrac:       0.10,
+		GapMean:          300,
+		MLP:              2,
+		PhaseEvery:       300_000,
+		PhaseFrac:        0.09,
+		PhasePinFrac:     0.45,
+		Cores:            16,
+	},
 	// Web Search (Nutch): dense index traversals, the friendliest
 	// spatial locality in the suite.
 	WebSearch: {
@@ -187,9 +227,10 @@ func ByName(name string) (Profile, error) {
 	return p, nil
 }
 
-// Names returns all workload names in the paper's presentation order.
+// Names returns all workload names in the paper's presentation order,
+// plus the phase-shift stress workload.
 func Names() []string {
-	return []string{DataServing, MapReduce, Multiprogrammed, SATSolver, WebFrontend, WebSearch}
+	return []string{DataServing, MapReduce, Multiprogrammed, SATSolver, WebFrontend, WebSearch, PhaseShift}
 }
 
 // All returns every profile in presentation order.

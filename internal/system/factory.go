@@ -206,6 +206,19 @@ func isMapping(name string) bool { return slices.Contains(MappingPolicies(), nam
 
 func isFill(name string) bool { return slices.Contains(FillPolicies(), name) }
 
+// PartitionPercent reports the memory share (in percent) a design
+// spec's partition component dedicates to directly addressed memory.
+// ok is false for specs without a partition component (or specs that
+// do not parse); callers seeding an adaptive controller use it to
+// start the controller at the design's configured split.
+func PartitionPercent(kind string) (pct int, ok bool) {
+	c, err := parseKind(kind)
+	if err != nil || c.partition == "" {
+		return 0, false
+	}
+	return c.memPct, true
+}
+
 // NormalizeKind validates a design kind or composite policy spec and
 // returns the name the built design would report — the canonical kind
 // for paper designs, the normalized composite spec for hybrids. CLIs

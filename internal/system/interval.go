@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fpcache/internal/control"
 	"fpcache/internal/core"
 	"fpcache/internal/dcache"
 	"fpcache/internal/memtrace"
@@ -75,8 +76,16 @@ type IntervalOptions struct {
 	Intervals int
 	// Workers bounds the worker pool (< 1 selects GOMAXPROCS).
 	Workers int
-	// Plan schedules partition resizes, exactly as a serial run.
+	// Plan schedules static partition resizes, exactly as a serial
+	// run.
 	Plan *ResizePlan
+	// Adaptive, when non-nil, installs the adaptive partition
+	// controller instead of Plan (it wins when both are set). The
+	// config is a value, not a shared controller: every state the run
+	// builds gets its own controller, whose decision state chains
+	// through boundary checkpoints exactly like design state — a
+	// shared instance would race across interval workers.
+	Adaptive *control.Config
 	// Cache, when non-nil, stores and restores boundary checkpoints,
 	// keyed by trace content and start record. It is an accelerator:
 	// results are byte-identical with or without it.
@@ -209,15 +218,38 @@ func snapToChunk(starts []uint64, ideal, lo, hi uint64) uint64 {
 	return best
 }
 
+// newPolicy builds a fresh resize policy per the options: the
+// adaptive controller config wins over a static plan. Each call
+// returns an independent instance — interval workers must never share
+// a stateful policy.
+func (opt *IntervalOptions) newPolicy() ResizePolicy {
+	if opt.Adaptive != nil {
+		return NewAdaptivePolicy(*opt.Adaptive)
+	}
+	if opt.Plan.Period() > 0 {
+		return opt.Plan
+	}
+	return nil
+}
+
+// policyLabel renders the options' policy for checkpoint keys without
+// building a controller.
+func (opt *IntervalOptions) policyLabel() string {
+	if opt.Adaptive != nil {
+		return opt.Adaptive.Label()
+	}
+	return policyLabel(opt.Plan)
+}
+
 // key builds the checkpoint identity for a state captured at absolute
-// record `at`. The resize plan changes functional state evolution but
-// has no WarmKey field of its own, so a valid plan folds into the
-// workload label — states under different schedules must never share
-// an entry.
+// record `at`. The resize policy changes functional state evolution
+// but has no WarmKey field of its own, so an active policy folds into
+// the workload label — states under different schedules (or under the
+// controller versus a schedule) must never share an entry.
 func (opt *IntervalOptions) key(traceID string, at uint64) WarmKey {
 	wl := opt.Workload
-	if opt.Plan.valid() {
-		wl = fmt.Sprintf("%s|resize=%d@%v", wl, opt.Plan.PeriodRefs, opt.Plan.Fractions)
+	if lbl := opt.policyLabel(); lbl != "" {
+		wl = fmt.Sprintf("%s|%s", wl, lbl)
 	}
 	return WarmKey{
 		Workload: wl, Seed: opt.Seed, Scale: opt.Scale, WarmupRefs: opt.WarmupRefs,
@@ -225,19 +257,25 @@ func (opt *IntervalOptions) key(traceID string, at uint64) WarmKey {
 	}
 }
 
-// newState builds a fresh SimState for the option's design spec.
+// newState builds a fresh SimState for the option's design spec, with
+// its own resize policy installed (before any restore — a stateful
+// policy's decision state is part of the checkpoints this run chains
+// through).
 func (opt *IntervalOptions) newState() (*SimState, error) {
 	d, err := BuildDesign(opt.Spec)
 	if err != nil {
 		return nil, err
 	}
-	return NewSimState(d), nil
+	s := NewSimState(d)
+	s.SetPolicy(opt.newPolicy())
+	return s, nil
 }
 
 // advance replays records [from, to) through s exactly as the serial
 // run would see them: records before the warmup boundary w replay
-// without a plan, later ones fire resizes at serial boundaries.
-func advance(s *SimState, tr *memtrace.FileReader, w uint64, plan *ResizePlan, from, to uint64) error {
+// without the policy, later ones hit policy epochs at serial
+// boundaries.
+func advance(s *SimState, tr *memtrace.FileReader, w uint64, from, to uint64) error {
 	if from >= to {
 		return nil
 	}
@@ -258,7 +296,7 @@ func advance(s *SimState, tr *memtrace.FileReader, w uint64, plan *ResizePlan, f
 	if from >= to {
 		return nil
 	}
-	_, err = s.MeasureFrom(sec, int(to-from), plan, from-w)
+	_, err = s.MeasureFrom(sec, int(to-from), from-w)
 	return err
 }
 
@@ -356,7 +394,7 @@ func runExact(tr *memtrace.FileReader, opt *IntervalOptions, traceID string, ivs
 			if s, err = opt.newState(); err != nil {
 				return chainOut{}, err
 			}
-			if err := advance(s, tr, w, opt.Plan, 0, ivs[seg.first].Start); err != nil {
+			if err := advance(s, tr, w, 0, ivs[seg.first].Start); err != nil {
 				return chainOut{}, err
 			}
 		}
@@ -374,7 +412,7 @@ func runExact(tr *memtrace.FileReader, opt *IntervalOptions, traceID string, ivs
 					return chainOut{}, err
 				}
 				out.snaps = append(out.snaps, buf.Bytes())
-				if err := advance(s, tr, w, opt.Plan, iv.Start, iv.Start+iv.Refs); err != nil {
+				if err := advance(s, tr, w, iv.Start, iv.Start+iv.Refs); err != nil {
 					return chainOut{}, err
 				}
 				continue
@@ -383,7 +421,7 @@ func runExact(tr *memtrace.FileReader, opt *IntervalOptions, traceID string, ivs
 			if err != nil {
 				return chainOut{}, err
 			}
-			res, err := s.MeasureFrom(sec, int(iv.Refs), opt.Plan, iv.Start-w)
+			res, err := s.MeasureFrom(sec, int(iv.Refs), iv.Start-w)
 			if err != nil {
 				return chainOut{}, err
 			}
@@ -433,7 +471,10 @@ func runExact(tr *memtrace.FileReader, opt *IntervalOptions, traceID string, ivs
 		cfg := *opt.Timing
 		cfg.WarmupRefs = 0
 		cfg.MaxRefs = int(iv.Refs)
-		cfg.Resize = opt.Plan
+		// The restored state's policy instance: for the adaptive
+		// controller it carries the window and climb registers the
+		// snapshot captured at this boundary.
+		cfg.Resize = s.Policy()
 		cfg.ResizeStartRefs = iv.Start - w
 		return RunTiming(s.Design(), sec, cfg)
 	})
@@ -503,12 +544,12 @@ func runSampled(tr *memtrace.FileReader, opt *IntervalOptions, traceID string, i
 			cfg := *opt.Timing
 			cfg.WarmupRefs = 0
 			cfg.MaxRefs = int(iv.Refs)
-			cfg.Resize = opt.Plan
+			cfg.Resize = s.Policy()
 			cfg.ResizeStartRefs = iv.Start - w
 			tm, err := RunTiming(s.Design(), sec, cfg)
 			return sampleOut{tm: tm}, err
 		}
-		fn, err := s.MeasureFrom(sec, int(iv.Refs), opt.Plan, iv.Start-w)
+		fn, err := s.MeasureFrom(sec, int(iv.Refs), iv.Start-w)
 		return sampleOut{fn: fn}, err
 	})
 	if err := firstFailure(reports); err != nil {

@@ -1,60 +1,20 @@
 package system
 
 import (
-	"bytes"
-	"encoding/json"
 	"math"
 	"runtime"
 	"testing"
 
 	"fpcache/internal/memtrace"
 	"fpcache/internal/synth"
+	"fpcache/internal/testutil"
 )
 
 // intervalTrace writes n generated records into an in-memory v2 trace
 // and opens it for random access.
 func intervalTrace(t *testing.T, workload string, seed int64, scale float64, n, chunk int) *memtrace.FileReader {
 	t.Helper()
-	prof, err := synth.ByName(workload)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gen, err := synth.NewGenerator(prof, seed, scale)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	w := memtrace.NewWriterV2(&buf)
-	if err := w.SetChunkRecords(chunk); err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < n; i++ {
-		rec, ok := gen.Next()
-		if !ok {
-			t.Fatalf("generator exhausted at %d", i)
-		}
-		if err := w.Write(rec); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		t.Fatal(err)
-	}
-	fr, err := memtrace.NewFileReader(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return fr
-}
-
-// asJSON canonicalizes a result for byte-identity comparison.
-func asJSON(t *testing.T, v any) string {
-	t.Helper()
-	b, err := json.Marshal(v)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(b)
+	return testutil.ChunkedTrace(t, workload, seed, scale, n, chunk)
 }
 
 // TestPlanIntervalsChunkAligned pins the plan invariants: interior
@@ -110,7 +70,7 @@ func TestIntervalFunctionalParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	serialSrc := intervalTrace(t, synth.WebSearch, 7, scale, refs, 512)
-	want := asJSON(t, mustFunctional(RunFunctional(d, serialSrc, warmup, 0)))
+	want := testutil.AsJSON(t, mustFunctional(RunFunctional(d, serialSrc, warmup, 0)))
 
 	opt := IntervalOptions{
 		Spec: spec, Workload: synth.WebSearch, Seed: 7, Scale: scale,
@@ -146,7 +106,7 @@ func TestIntervalFunctionalParity(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
-		if got := asJSON(t, rep.Functional); got != want {
+		if got := testutil.AsJSON(t, rep.Functional); got != want {
 			t.Fatalf("%s: merged result diverges from serial\nserial: %s\nmerged: %s", tc.name, want, got)
 		}
 		if tc.check != nil {
@@ -177,7 +137,7 @@ func TestIntervalResizeParity(t *testing.T) {
 	if serial.Partition == nil || serial.Partition.Resizes == 0 {
 		t.Fatalf("serial reference applied no resizes: %+v", serial.Partition)
 	}
-	want := asJSON(t, serial)
+	want := testutil.AsJSON(t, serial)
 
 	for _, workers := range []int{1, 4} {
 		rep, err := RunIntervals(tr, IntervalOptions{
@@ -187,7 +147,7 @@ func TestIntervalResizeParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := asJSON(t, rep.Functional); got != want {
+		if got := testutil.AsJSON(t, rep.Functional); got != want {
 			t.Fatalf("j%d: resizing merged result diverges from serial\nserial: %s\nmerged: %s", workers, want, got)
 		}
 	}
@@ -227,10 +187,10 @@ func TestIntervalTimingParity(t *testing.T) {
 			baseline = rep
 			continue
 		}
-		if asJSON(t, rep.Timing) != asJSON(t, baseline.Timing) {
+		if testutil.AsJSON(t, rep.Timing) != testutil.AsJSON(t, baseline.Timing) {
 			t.Fatalf("j%d: merged timing result diverges from j1", workers)
 		}
-		if asJSON(t, rep.Timing.ReadLatency.Counts) != asJSON(t, baseline.Timing.ReadLatency.Counts) {
+		if testutil.AsJSON(t, rep.Timing.ReadLatency.Counts) != testutil.AsJSON(t, baseline.Timing.ReadLatency.Counts) {
 			t.Fatalf("j%d: merged latency histogram diverges from j1", workers)
 		}
 	}
@@ -241,9 +201,9 @@ func TestIntervalTimingParity(t *testing.T) {
 	}
 	serialSrc := intervalTrace(t, synth.WebSearch, 7, scale, refs, 256)
 	fn := mustFunctional(RunFunctional(d, serialSrc, warmup, 0))
-	if asJSON(t, baseline.Timing.Counters) != asJSON(t, fn.Counters) {
+	if testutil.AsJSON(t, baseline.Timing.Counters) != testutil.AsJSON(t, fn.Counters) {
 		t.Fatalf("interval timing counters diverge from serial functional run\nfunctional: %s\ntiming:     %s",
-			asJSON(t, fn.Counters), asJSON(t, baseline.Timing.Counters))
+			testutil.AsJSON(t, fn.Counters), testutil.AsJSON(t, baseline.Timing.Counters))
 	}
 	if baseline.Timing.OffChip.ReadBursts != fn.OffChip.ReadBursts ||
 		baseline.Timing.OffChip.WriteBursts != fn.OffChip.WriteBursts {
@@ -296,7 +256,7 @@ func TestIntervalSampledWithinCI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if asJSON(t, again) != asJSON(t, rep) {
+	if testutil.AsJSON(t, again) != testutil.AsJSON(t, rep) {
 		t.Fatal("sampled run is not deterministic")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fpcache/internal/core"
 	"fpcache/internal/dcache"
 	"fpcache/internal/synth"
+	"fpcache/internal/testutil"
 )
 
 // The golden parity suite: every pre-refactor design, rebuilt here
@@ -73,19 +74,12 @@ func buildMonolith(t *testing.T, kind string, paperMB int, scale float64) dcache
 	return d
 }
 
-// parityTrace builds a fresh generator for a (workload, seed) pair;
-// each design run gets its own so state never leaks between runs.
+// parityTrace builds a fresh generator at the parity suite's fixed
+// seed; each design run gets its own so state never leaks between
+// runs.
 func parityTrace(t *testing.T, workload string, scale float64) *synth.Generator {
 	t.Helper()
-	prof, err := synth.ByName(workload)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gen, err := synth.NewGenerator(prof, 7, scale)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return gen
+	return testutil.SynthTrace(t, workload, 7, scale)
 }
 
 func TestGoldenParityAllDesigns(t *testing.T) {

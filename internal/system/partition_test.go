@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fpcache/internal/dcache"
+	"fpcache/internal/testutil"
 )
 
 // partitionSpec builds a small partitioned footprint design.
@@ -25,13 +26,13 @@ func TestPartitionSchedulingParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fres := mustFunctional(RunFunctionalResized(d1, randomTrace(6000, 33, 8), 2000, 4000, plan))
+		fres := mustFunctional(RunFunctionalResized(d1, testutil.RandomTrace(6000, 33, 8), 2000, 4000, plan))
 
 		d2, err := BuildDesign(partitionSpec(kind))
 		if err != nil {
 			t.Fatal(err)
 		}
-		tres := mustTiming(RunTiming(d2, randomTrace(6000, 33, 8),
+		tres := mustTiming(RunTiming(d2, testutil.RandomTrace(6000, 33, 8),
 			TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 4000, Resize: plan}))
 
 		fj, _ := json.Marshal(fres.Counters)
@@ -77,7 +78,7 @@ func TestPartitionedDesignBasics(t *testing.T) {
 	if !ok {
 		t.Fatalf("built design is %T, want *dcache.Partitioned", d)
 	}
-	res := mustFunctional(RunFunctional(d, randomTrace(20_000, 5, 8), 5000, 0))
+	res := mustFunctional(RunFunctional(d, testutil.RandomTrace(20_000, 5, 8), 5000, 0))
 	if res.Partition == nil {
 		t.Fatal("functional result missing partition stats")
 	}

@@ -6,6 +6,7 @@ import (
 
 	"fpcache/internal/dram"
 	"fpcache/internal/synth"
+	"fpcache/internal/testutil"
 )
 
 // TestSchedulingParityTimingMatchesFunctional is the scheduling-parity
@@ -24,13 +25,13 @@ func TestSchedulingParityTimingMatchesFunctional(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fres := mustFunctional(RunFunctional(d1, randomTrace(6000, 21, 8), 2000, 4000))
+		fres := mustFunctional(RunFunctional(d1, testutil.RandomTrace(6000, 21, 8), 2000, 4000))
 
 		d2, err := BuildDesign(build())
 		if err != nil {
 			t.Fatal(err)
 		}
-		tres := mustTiming(RunTiming(d2, randomTrace(6000, 21, 8),
+		tres := mustTiming(RunTiming(d2, testutil.RandomTrace(6000, 21, 8),
 			TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 4000}))
 
 		fj, _ := json.Marshal(fres.Counters)
@@ -74,7 +75,7 @@ func TestSchedulingParityInvariantToControllerTiming(t *testing.T) {
 			cfg.Stacked = &stk
 			cfg.OffChip = &off
 		}
-		return mustTiming(RunTiming(d, randomTrace(5000, 23, 8), cfg))
+		return mustTiming(RunTiming(d, testutil.RandomTrace(5000, 23, 8), cfg))
 	}
 	a, b := run(false), run(true)
 	if a.Cycles == b.Cycles {

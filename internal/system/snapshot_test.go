@@ -8,6 +8,7 @@ import (
 
 	"fpcache/internal/memtrace"
 	"fpcache/internal/synth"
+	"fpcache/internal/testutil"
 )
 
 // snapshotSpecs is the design sweep of the snapshot-parity suite: the
@@ -38,19 +39,12 @@ func snapshotSpecs() []DesignSpec {
 	return specs
 }
 
-// snapTrace returns a fresh deterministic generator; every run gets
-// its own so no state leaks between the compared runs.
+// snapTrace returns a fresh deterministic generator at the snapshot
+// suite's fixed (workload, seed) identity; every run gets its own so
+// no state leaks between the compared runs.
 func snapTrace(t *testing.T, scale float64) memtrace.Source {
 	t.Helper()
-	prof, err := synth.ByName(synth.WebSearch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gen, err := synth.NewGenerator(prof, 11, scale)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return gen
+	return testutil.SynthTrace(t, synth.WebSearch, 11, scale)
 }
 
 // snapMeta is the run identity the parity tests stamp on snapshots;
@@ -62,7 +56,7 @@ func snapMeta(warmup int) SnapshotMeta {
 // runRestored warms one state, snapshots it, restores the snapshot
 // into a second freshly built design, and measures from there — the
 // checkpointed form of RunFunctionalResized.
-func runRestored(t *testing.T, spec DesignSpec, warmup, refs int, plan *ResizePlan) FunctionalResult {
+func runRestored(t *testing.T, spec DesignSpec, warmup, refs int, pol ResizePolicy) FunctionalResult {
 	t.Helper()
 	const scale = 1.0 / 64
 
@@ -71,6 +65,7 @@ func runRestored(t *testing.T, spec DesignSpec, warmup, refs int, plan *ResizePl
 		t.Fatalf("BuildDesign(%+v): %v", spec, err)
 	}
 	warm := NewSimState(warmDesign)
+	warm.SetPolicy(pol)
 	warm.Warm(snapTrace(t, scale), warmup)
 	var buf bytes.Buffer
 	if err := warm.Snapshot(&buf, snapMeta(warmup)); err != nil {
@@ -82,6 +77,7 @@ func runRestored(t *testing.T, spec DesignSpec, warmup, refs int, plan *ResizePl
 		t.Fatal(err)
 	}
 	state := NewSimState(design)
+	state.SetPolicy(pol)
 	if err := state.Restore(bytes.NewReader(buf.Bytes()), snapMeta(warmup)); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -89,7 +85,7 @@ func runRestored(t *testing.T, spec DesignSpec, warmup, refs int, plan *ResizePl
 	if skipped := memtrace.Skip(src, warmup); skipped != warmup {
 		t.Fatalf("skipped %d of %d warmup records", skipped, warmup)
 	}
-	return mustFunctional(state.Measure(src, refs, plan))
+	return mustFunctional(state.Measure(src, refs))
 }
 
 // TestSnapshotParityAllCompositions is the tentpole's correctness bar:
@@ -275,7 +271,7 @@ func TestWarmCacheRoundTrip(t *testing.T) {
 		src := snapTrace(t, scale)
 		memtrace.Skip(src, 10_000)
 		return src
-	}(), 10_000, nil))
+	}(), 10_000))
 
 	d2, err := BuildDesign(spec)
 	if err != nil {
@@ -288,7 +284,7 @@ func TestWarmCacheRoundTrip(t *testing.T) {
 	}
 	src := snapTrace(t, scale)
 	memtrace.Skip(src, 10_000)
-	got := mustFunctional(s2.Measure(src, 10_000, nil))
+	got := mustFunctional(s2.Measure(src, 10_000))
 
 	wantJSON, _ := json.Marshal(want)
 	gotJSON, _ := json.Marshal(got)

@@ -28,6 +28,10 @@ type SimState struct {
 	design dcache.Design
 	offT   *dram.Tracker
 	stkT   *dram.Tracker
+	// pol is the partition resize policy driven at measured-reference
+	// epoch boundaries; nil (or a disabled policy, or a design that is
+	// not Resizable) measures without resizes.
+	pol ResizePolicy
 	// ops is the run-wide scratch buffer: each Access appends into it
 	// and applyOps consumes it before the next reference, so the
 	// steady-state loop allocates nothing.
@@ -42,14 +46,16 @@ const warmStateKind = "fpcache-warmstate"
 // dcache.SnapshotVersion, which versions the design-state layout
 // itself. Version 2 added interval identity (TraceID, AtRecord) so
 // interval checkpoints of a trace can never be mistaken for whole-run
-// warmup snapshots. Bumping either version invalidates old entries
-// cleanly: the content key misses and the envelope check rejects.
+// warmup snapshots; version 3 appended the resize policy state
+// section (the adaptive controller's window and climb registers).
+// Bumping either version invalidates old entries cleanly: the content
+// key misses and the envelope check rejects.
 // The fplint snapmeta analyzer pins the serialized structs' field
 // layout to the fingerprint below; if it fires, update the codec, bump
 // this const, and refresh the directive.
 //
-//fplint:snapfields 0xe3ec1561
-const warmStateVersion = 2
+//fplint:snapfields 0x3450f9ed
+const warmStateVersion = 3
 
 // NewSimState builds the functional run state for a design, with DRAM
 // trackers configured per the design's policies.
@@ -65,20 +71,34 @@ func NewSimState(design dcache.Design) *SimState {
 // Design returns the wrapped design.
 func (s *SimState) Design() dcache.Design { return s.design }
 
+// SetPolicy installs the partition resize policy Measure drives.
+// Install it before any Snapshot/Restore: stateful policies
+// (PolicyState) are part of the warm state.
+func (s *SimState) SetPolicy(pol ResizePolicy) { s.pol = pol }
+
+// Policy returns the installed resize policy (nil when none).
+func (s *SimState) Policy() ResizePolicy { return s.pol }
+
 // run drives up to n records (n <= 0 drains the source) through the
 // design, applying outcome operations to the trackers; with a non-nil
-// rz, the resize plan fires at measured-reference boundaries. Returns
-// the instruction count, and a typed error (fault.ErrInvalidOps) if
-// the design emitted a structurally invalid op list — the run stops at
-// the offending reference so one bad composition fails one sweep
-// point, never the process.
-// startRefs offsets the resize schedule: an interval run resuming at
-// measured reference startRefs fires resizes at the same absolute
-// boundaries (and with the same fraction sequence) as a serial run
-// that is startRefs references in — the interval-parallel runner's
-// determinism depends on it.
-func (s *SimState) run(src memtrace.Source, n int, plan *ResizePlan, rz Resizable, startRefs uint64) (uint64, error) {
+// rz, the resize policy decides at measured-reference epoch
+// boundaries. Returns the instruction count, and a typed error
+// (fault.ErrInvalidOps) if the design emitted a structurally invalid
+// op list — the run stops at the offending reference so one bad
+// composition fails one sweep point, never the process.
+// startRefs offsets the epoch schedule: an interval run resuming at
+// measured reference startRefs hits the same absolute boundaries (and
+// a restored stateful policy continues from its snapshotted baseline)
+// as a serial run that is startRefs references in — the
+// interval-parallel runner's determinism depends on it.
+func (s *SimState) run(src memtrace.Source, n int, pol ResizePolicy, rz Resizable, startRefs uint64) (uint64, error) {
 	var refs, instrs uint64
+	var period uint64
+	var part func() dcache.PartitionStats
+	if rz != nil {
+		period = uint64(policyPeriod(pol))
+		part = partitionExtra(s.design)
+	}
 	for {
 		if n > 0 && refs >= uint64(n) {
 			break
@@ -92,13 +112,15 @@ func (s *SimState) run(src memtrace.Source, n int, plan *ResizePlan, rz Resizabl
 		out := s.design.Access(rec, s.ops)
 		applyOps(out.Ops, s.offT, s.stkT)
 		s.ops = out.Ops
-		if rz != nil && (startRefs+refs)%uint64(plan.PeriodRefs) == 0 {
-			resizeIdx := int((startRefs+refs)/uint64(plan.PeriodRefs) - 1)
-			s.ops = rz.Resize(plan.Fractions[resizeIdx%len(plan.Fractions)], s.ops[:0])
-			if err := validateOps(s.design, s.ops, "resize transition"); err != nil {
-				return instrs, err
+		if period > 0 && (startRefs+refs)%period == 0 {
+			epoch := int((startRefs+refs)/period - 1)
+			if frac, fire := pol.Decide(epoch, telemetryOf(s.design, part, startRefs+refs)); fire {
+				s.ops = rz.Resize(frac, s.ops[:0])
+				if err := validateOps(s.design, s.ops, "resize transition"); err != nil {
+					return instrs, err
+				}
+				applyOps(s.ops, s.offT, s.stkT)
 			}
-			applyOps(s.ops, s.offT, s.stkT)
 		}
 	}
 	return instrs, nil
@@ -117,24 +139,26 @@ func (s *SimState) Warm(src memtrace.Source, n int) error {
 
 // Measure runs up to maxRefs records (maxRefs <= 0 drains the source)
 // from the current state and returns the result, with all counters
-// relative to the state at entry. A non-nil plan schedules partition
-// resizes exactly as RunFunctionalResized documents. A typed error
+// relative to the state at entry. The installed resize policy
+// (SetPolicy) decides partition splits at its epoch boundaries
+// exactly as RunFunctionalResized documents. A typed error
 // (fault.ErrInvalidOps) reports a design that emitted a malformed op
 // list; the partial result accompanies it for diagnostics but must not
 // be reported as a measurement.
-func (s *SimState) Measure(src memtrace.Source, maxRefs int, plan *ResizePlan) (FunctionalResult, error) {
-	return s.MeasureFrom(src, maxRefs, plan, 0)
+func (s *SimState) Measure(src memtrace.Source, maxRefs int) (FunctionalResult, error) {
+	return s.MeasureFrom(src, maxRefs, 0)
 }
 
 // MeasureFrom is Measure for a state that is already measuredBefore
-// references into its measurement phase: the resize schedule continues
-// from that point, so an interval resumed mid-run fires resizes at the
-// same absolute boundaries with the same fractions as the serial run
-// it is a slice of.
-func (s *SimState) MeasureFrom(src memtrace.Source, maxRefs int, plan *ResizePlan, measuredBefore uint64) (FunctionalResult, error) {
+// references into its measurement phase: the epoch schedule continues
+// from that point, so an interval resumed mid-run hits the same
+// absolute boundaries — and a restored stateful policy makes the same
+// decisions — as the serial run it is a slice of.
+func (s *SimState) MeasureFrom(src memtrace.Source, maxRefs int, measuredBefore uint64) (FunctionalResult, error) {
+	pol := s.pol
 	rz, _ := s.design.(Resizable)
-	if !plan.valid() {
-		rz = nil
+	if policyPeriod(pol) <= 0 || rz == nil {
+		pol, rz = nil, nil
 	}
 	ctr0 := s.design.Counters()
 	off0, stk0 := s.offT.Stats, s.stkT.Stats
@@ -150,7 +174,7 @@ func (s *SimState) MeasureFrom(src memtrace.Source, maxRefs int, plan *ResizePla
 	}
 
 	res := FunctionalResult{Design: s.design.Name()}
-	instrs, err := s.run(src, maxRefs, plan, rz, measuredBefore)
+	instrs, err := s.run(src, maxRefs, pol, rz, measuredBefore)
 	res.Instructions = instrs
 	res.Counters = s.design.Counters().Sub(ctr0)
 	res.Refs = res.Counters.Accesses()
@@ -193,8 +217,10 @@ type SnapshotMeta struct {
 }
 
 // Snapshot serializes the complete warm state — run identity, design,
-// and DRAM trackers — as one versioned envelope. The design must
-// support snapshots (every design BuildDesign produces does).
+// DRAM trackers, and (when the installed policy is stateful) the
+// resize policy's decision state — as one versioned envelope. The
+// design must support snapshots (every design BuildDesign produces
+// does).
 func (s *SimState) Snapshot(w io.Writer, meta SnapshotMeta) error {
 	ds, ok := s.design.(dcache.DesignState)
 	if !ok {
@@ -212,6 +238,11 @@ func (s *SimState) Snapshot(w io.Writer, meta SnapshotMeta) error {
 		ds.SaveState(sw)
 		s.offT.Save(sw)
 		s.stkT.Save(sw)
+		ps, _ := s.pol.(PolicyState)
+		sw.Bool(ps != nil)
+		if ps != nil {
+			ps.SaveState(sw)
+		}
 	})
 }
 
@@ -244,7 +275,25 @@ func (s *SimState) Restore(r io.Reader, want SnapshotMeta) error {
 		if err := s.offT.Load(sr); err != nil {
 			return err
 		}
-		return s.stkT.Load(sr)
+		if err := s.stkT.Load(sr); err != nil {
+			return err
+		}
+		// Policy-state presence may legitimately differ from the
+		// installed policy at the warmup boundary, where every stateful
+		// policy is still unprimed (≡ fresh): the shared warm cache keys
+		// warmup states by (spec, workload) only, so an adaptive run may
+		// restore a snapshot a plain run stored and vice versa. A saved
+		// section without an installed stateful policy is trailing data
+		// we ignore; a missing section leaves the fresh policy as built.
+		// Mid-measurement checkpoints never hit either case — interval
+		// keys fold the policy label, so they only restore into runs of
+		// the same policy.
+		if hasPol := sr.Bool(); hasPol {
+			if ps, ok := s.pol.(PolicyState); ok {
+				return ps.LoadState(sr)
+			}
+		}
+		return sr.Err()
 	})
 }
 

@@ -98,20 +98,18 @@ func (r FunctionalResult) StackedEnergy() energy.Breakdown {
 	return energy.Stacked().Of(r.Stacked)
 }
 
-// ResizePlan schedules run-time partition resizes: every PeriodRefs
-// measured references the design's split moves to the next fraction
-// in Fractions (cycled). Both runners apply the plan at the same
-// trace-order reference boundaries, so a resizing timing run stays
-// byte-identical to its functional counterpart.
+// ResizePlan is the static ResizePolicy: every PeriodRefs measured
+// references the design's split moves to the next fraction in
+// Fractions (cycled), unconditionally. Both runners apply policies at
+// the same trace-order reference boundaries, so a resizing timing run
+// stays byte-identical to its functional counterpart. The adaptive
+// counterpart is AdaptivePolicy (internal/control); policy.go defines
+// the shared interface.
 type ResizePlan struct {
 	// PeriodRefs is the resize cadence in measured references.
 	PeriodRefs int
 	// Fractions are the successive memory fractions applied, cycled.
 	Fractions []float64
-}
-
-func (p *ResizePlan) valid() bool {
-	return p != nil && p.PeriodRefs > 0 && len(p.Fractions) > 0
 }
 
 // Resizable is implemented by designs whose stacked-capacity split
@@ -132,11 +130,13 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 }
 
 // RunFunctionalResized is RunFunctional with a partition resize
-// schedule: every plan.PeriodRefs measured references the design's
-// split moves to the next fraction, and the transition's DRAM
-// operations (writebacks, migrations) are accounted like any other
-// traffic. A nil plan, or a design that is not Resizable, degrades to
-// a plain functional run.
+// policy: at every policy epoch boundary of measured references the
+// policy sees the design's cumulative telemetry and may move the
+// split, and the transition's DRAM operations (writebacks,
+// migrations) are accounted like any other traffic. A nil or disabled
+// policy, or a design that is not Resizable, degrades to a plain
+// functional run. A static schedule passes a *ResizePlan; the
+// adaptive controller passes an AdaptivePolicy.
 //
 // The warmup/measure split is SimState's Warm and Measure, so a run
 // restored from a warm-state snapshot (SimState.Restore) continues
@@ -146,12 +146,13 @@ func RunFunctional(design dcache.Design, src memtrace.Source, warmupRefs, maxRef
 // design emits a malformed operation list; it fails this one run, and
 // the tolerant sweep executor turns it into a per-point failure report
 // instead of a process crash.
-func RunFunctionalResized(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int, plan *ResizePlan) (FunctionalResult, error) {
+func RunFunctionalResized(design dcache.Design, src memtrace.Source, warmupRefs, maxRefs int, pol ResizePolicy) (FunctionalResult, error) {
 	s := NewSimState(design)
+	s.SetPolicy(pol)
 	if err := s.Warm(src, warmupRefs); err != nil {
 		return FunctionalResult{Design: design.Name()}, err
 	}
-	return s.Measure(src, maxRefs, plan)
+	return s.Measure(src, maxRefs)
 }
 
 // partitionExtra locates the partition statistics of a design, nil

@@ -1,29 +1,12 @@
 package system
 
 import (
-	"math/rand"
 	"testing"
 
 	"fpcache/internal/dcache"
 	"fpcache/internal/dram"
-	"fpcache/internal/memtrace"
+	"fpcache/internal/testutil"
 )
-
-// randomTrace builds a deterministic pseudo-random trace.
-func randomTrace(n int, seed int64, cores int) *memtrace.Slice {
-	rng := rand.New(rand.NewSource(seed))
-	recs := make([]memtrace.Record, n)
-	for i := range recs {
-		recs[i] = memtrace.Record{
-			PC:    memtrace.PC(0x400000 + rng.Intn(128)*4),
-			Addr:  memtrace.Addr(rng.Intn(1<<20) * 64),
-			Core:  uint8(rng.Intn(cores)),
-			Write: rng.Intn(3) == 0,
-			Gap:   uint32(1 + rng.Intn(100)),
-		}
-	}
-	return memtrace.NewSlice(recs)
-}
 
 func TestDRAMConfigsPerDesign(t *testing.T) {
 	off, stk := DRAMConfigsFor("block")
@@ -50,7 +33,7 @@ func TestDRAMConfigsPerDesign(t *testing.T) {
 
 func TestRunFunctionalCountsAndTraffic(t *testing.T) {
 	d := dcache.NewBaseline()
-	res := mustFunctional(RunFunctional(d, randomTrace(1000, 1, 16), 0, 1000))
+	res := mustFunctional(RunFunctional(d, testutil.RandomTrace(1000, 1, 16), 0, 1000))
 	if res.Refs != 1000 {
 		t.Fatalf("refs = %d", res.Refs)
 	}
@@ -72,8 +55,8 @@ func TestRunFunctionalCountsAndTraffic(t *testing.T) {
 func TestRunFunctionalWarmupExcluded(t *testing.T) {
 	// Same trace, same design: measuring the second half must not
 	// include the first half's counters.
-	full := mustFunctional(RunFunctional(dcache.NewBaseline(), randomTrace(2000, 2, 16), 0, 2000))
-	half := mustFunctional(RunFunctional(dcache.NewBaseline(), randomTrace(2000, 2, 16), 1000, 1000))
+	full := mustFunctional(RunFunctional(dcache.NewBaseline(), testutil.RandomTrace(2000, 2, 16), 0, 2000))
+	half := mustFunctional(RunFunctional(dcache.NewBaseline(), testutil.RandomTrace(2000, 2, 16), 1000, 1000))
 	if half.Refs != 1000 {
 		t.Fatalf("measured refs = %d", half.Refs)
 	}
@@ -90,7 +73,7 @@ func TestRunFunctionalFootprintStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := mustFunctional(RunFunctional(d, randomTrace(5000, 3, 16), 1000, 4000))
+	res := mustFunctional(RunFunctional(d, testutil.RandomTrace(5000, 3, 16), 1000, 4000))
 	if res.Footprint == nil {
 		t.Fatal("footprint stats missing")
 	}
@@ -98,7 +81,7 @@ func TestRunFunctionalFootprintStats(t *testing.T) {
 		t.Fatalf("design = %q", res.Design)
 	}
 	// Non-footprint designs must not report them.
-	res2 := mustFunctional(RunFunctional(dcache.NewIdeal(), randomTrace(100, 3, 16), 0, 100))
+	res2 := mustFunctional(RunFunctional(dcache.NewIdeal(), testutil.RandomTrace(100, 3, 16), 0, 100))
 	if res2.Footprint != nil {
 		t.Fatal("ideal reported footprint stats")
 	}
@@ -154,7 +137,7 @@ func TestDesignSpecDefaults(t *testing.T) {
 
 func TestRunTimingBasics(t *testing.T) {
 	d := dcache.NewBaseline()
-	res := mustTiming(RunTiming(d, randomTrace(2000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 2000}))
+	res := mustTiming(RunTiming(d, testutil.RandomTrace(2000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 2000}))
 	if res.Refs != 2000 {
 		t.Fatalf("refs = %d", res.Refs)
 	}
@@ -178,7 +161,7 @@ func TestRunTimingDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return mustTiming(RunTiming(d, randomTrace(3000, 7, 8), TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 500, MaxRefs: 2500}))
+		return mustTiming(RunTiming(d, testutil.RandomTrace(3000, 7, 8), TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 500, MaxRefs: 2500}))
 	}
 	a, b := run(), run()
 	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
@@ -194,7 +177,7 @@ func TestRunTimingWarmupExcludedFromCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := mustTiming(RunTiming(d, randomTrace(4000, 9, 8), TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 2000}))
+	res := mustTiming(RunTiming(d, testutil.RandomTrace(4000, 9, 8), TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 2000, MaxRefs: 2000}))
 	if res.Counters.Accesses() != 2000 {
 		t.Fatalf("measured accesses = %d, want 2000", res.Counters.Accesses())
 	}
@@ -203,9 +186,9 @@ func TestRunTimingWarmupExcludedFromCounters(t *testing.T) {
 func TestRunTimingFasterMemoryFasterRun(t *testing.T) {
 	// An ideal (stacked-only) system must finish the same trace in
 	// fewer cycles than the no-cache baseline.
-	base := mustTiming(RunTiming(dcache.NewBaseline(), randomTrace(3000, 11, 8),
+	base := mustTiming(RunTiming(dcache.NewBaseline(), testutil.RandomTrace(3000, 11, 8),
 		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 3000}))
-	ideal := mustTiming(RunTiming(dcache.NewIdeal(), randomTrace(3000, 11, 8),
+	ideal := mustTiming(RunTiming(dcache.NewIdeal(), testutil.RandomTrace(3000, 11, 8),
 		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 3000}))
 	if ideal.Cycles >= base.Cycles {
 		t.Fatalf("ideal (%d cycles) not faster than baseline (%d)", ideal.Cycles, base.Cycles)
@@ -218,9 +201,9 @@ func TestRunTimingFasterMemoryFasterRun(t *testing.T) {
 func TestRunTimingStackedOverride(t *testing.T) {
 	cfg := dram.StackedDDR3_3200()
 	cfg.CPUPerBusCy *= 4 // cripple the stacked part
-	slow := mustTiming(RunTiming(dcache.NewIdeal(), randomTrace(2000, 13, 8),
+	slow := mustTiming(RunTiming(dcache.NewIdeal(), testutil.RandomTrace(2000, 13, 8),
 		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 2000, Stacked: &cfg}))
-	fast := mustTiming(RunTiming(dcache.NewIdeal(), randomTrace(2000, 13, 8),
+	fast := mustTiming(RunTiming(dcache.NewIdeal(), testutil.RandomTrace(2000, 13, 8),
 		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 2000}))
 	if slow.Cycles <= fast.Cycles {
 		t.Fatal("stacked override had no effect")
@@ -237,12 +220,12 @@ func TestAllDesignsRunBothModes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fres := mustFunctional(RunFunctional(d, randomTrace(3000, 17, 8), 500, 2500))
+		fres := mustFunctional(RunFunctional(d, testutil.RandomTrace(3000, 17, 8), 500, 2500))
 		if fres.Counters.Accesses() != 2500 {
 			t.Fatalf("%s functional accesses = %d", k, fres.Counters.Accesses())
 		}
 		d2, _ := BuildDesign(DesignSpec{Kind: k, PaperCapacityMB: 64, Scale: 1.0 / 16})
-		tres := mustTiming(RunTiming(d2, randomTrace(2000, 17, 8), TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 500, MaxRefs: 1500}))
+		tres := mustTiming(RunTiming(d2, testutil.RandomTrace(2000, 17, 8), TimingConfig{Cores: 8, MLP: 2, WarmupRefs: 500, MaxRefs: 1500}))
 		if tres.Cycles == 0 {
 			t.Fatalf("%s timing did not advance", k)
 		}
@@ -252,7 +235,7 @@ func TestAllDesignsRunBothModes(t *testing.T) {
 func TestRunTimingMaxRefsDefault(t *testing.T) {
 	// A zero MaxRefs takes the default bound instead of silently
 	// simulating zero references (the old behavior).
-	res := mustTiming(RunTiming(dcache.NewBaseline(), randomTrace(2000, 31, 4), TimingConfig{Cores: 4, MLP: 2}))
+	res := mustTiming(RunTiming(dcache.NewBaseline(), testutil.RandomTrace(2000, 31, 4), TimingConfig{Cores: 4, MLP: 2}))
 	if res.Refs != 2000 {
 		t.Fatalf("refs = %d, want the whole 2000-record trace", res.Refs)
 	}
@@ -262,7 +245,7 @@ func TestRunTimingMaxRefsDefault(t *testing.T) {
 }
 
 func TestRunTimingLatencyDistribution(t *testing.T) {
-	res := mustTiming(RunTiming(dcache.NewBaseline(), randomTrace(3000, 33, 8),
+	res := mustTiming(RunTiming(dcache.NewBaseline(), testutil.RandomTrace(3000, 33, 8),
 		TimingConfig{Cores: 8, MLP: 2, MaxRefs: 3000}))
 	if res.ReadLatency == nil || res.ReadLatency.Total() == 0 {
 		t.Fatal("read-latency histogram empty")

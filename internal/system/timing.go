@@ -29,13 +29,15 @@ type TimingConfig struct {
 	// OffChip / Stacked override the per-design DRAM configs when
 	// non-nil (used by the Figure 1 opportunity study).
 	OffChip, Stacked *dram.Config
-	// Resize schedules run-time partition resizes. Applied at demux
-	// drain time in trace order — the same measured-reference
-	// boundaries RunFunctionalResized uses — so counters stay
-	// byte-identical to a functional run; the transition's DRAM
-	// operations dispatch into the controllers as background traffic
-	// at the cycle the boundary reference is drained.
-	Resize *ResizePlan
+	// Resize decides run-time partition resizes (a static *ResizePlan
+	// or the adaptive AdaptivePolicy). Driven at demux drain time in
+	// trace order — the same measured-reference epoch boundaries, with
+	// the same cumulative telemetry, RunFunctionalResized uses — so
+	// counters stay byte-identical to a functional run; the
+	// transition's DRAM operations dispatch into the controllers as
+	// background traffic at the cycle the boundary reference is
+	// drained.
+	Resize ResizePolicy
 	// ResizeStartRefs offsets the resize schedule: a run resuming at
 	// measured reference N of a longer trace fires resizes at the same
 	// absolute boundaries, with the same fractions, as the serial run
@@ -148,11 +150,14 @@ type demux struct {
 	// producing records and the run returns the error.
 	err error
 
-	// Partition resize driver: when plan and rz are set, every
-	// plan.PeriodRefs drained references the split moves to the next
-	// fraction — in trace order, exactly as RunFunctionalResized —
-	// and the transition's ops are handed to onResize for dispatch.
-	plan     *ResizePlan
+	// Partition resize driver: when pol and rz are set, every period
+	// drained references the policy decides from the design's
+	// cumulative telemetry — in trace order, exactly as
+	// RunFunctionalResized — and a firing decision's transition ops
+	// are handed to onResize for dispatch.
+	pol      ResizePolicy
+	period   uint64
+	part     func() dcache.PartitionStats
 	rz       Resizable
 	onResize func(ops []dcache.Op)
 	drained  uint64
@@ -218,19 +223,21 @@ func (d *demux) pull(core int) (timedRec, bool) {
 			d.highWater = d.queued
 		}
 		d.drained++
-		if d.rz != nil && (d.startRefs+d.drained)%uint64(d.plan.PeriodRefs) == 0 {
-			resizeIdx := int((d.startRefs+d.drained)/uint64(d.plan.PeriodRefs) - 1)
-			// The boundary reference's Access already copied its ops
-			// out of scratch, so the resize can reuse it.
-			d.scratch = d.rz.Resize(d.plan.Fractions[resizeIdx%len(d.plan.Fractions)], d.scratch[:0])
-			if err := validateOps(d.design, d.scratch, "resize transition"); err != nil {
-				d.err = err
-				d.done = true
-				return timedRec{}, false
+		if d.period > 0 && (d.startRefs+d.drained)%d.period == 0 {
+			epoch := int((d.startRefs+d.drained)/d.period - 1)
+			if frac, fire := d.pol.Decide(epoch, telemetryOf(d.design, d.part, d.startRefs+d.drained)); fire {
+				// The boundary reference's Access already copied its ops
+				// out of scratch, so the resize can reuse it.
+				d.scratch = d.rz.Resize(frac, d.scratch[:0])
+				if err := validateOps(d.design, d.scratch, "resize transition"); err != nil {
+					d.err = err
+					d.done = true
+					return timedRec{}, false
+				}
+				buf := d.getOps(len(d.scratch))
+				copy(buf, d.scratch)
+				d.onResize(buf)
 			}
-			buf := d.getOps(len(d.scratch))
-			copy(buf, d.scratch)
-			d.onResize(buf)
 		}
 	}
 }
@@ -313,8 +320,9 @@ func RunTiming(design dcache.Design, src memtrace.Source, cfg TimingConfig) (Tim
 	offC := dram.NewController(eng, offCfg)
 	stkC := dram.NewController(eng, stkCfg)
 	dm := newDemux(src, design, cfg.Cores, cfg.MaxRefs, scratch)
-	if rz, ok := design.(Resizable); ok && cfg.Resize.valid() {
-		dm.plan, dm.rz = cfg.Resize, rz
+	if rz, ok := design.(Resizable); ok && policyPeriod(cfg.Resize) > 0 {
+		dm.pol, dm.period, dm.rz = cfg.Resize, uint64(cfg.Resize.Period()), rz
+		dm.part = partitionExtra(design)
 		dm.startRefs = cfg.ResizeStartRefs
 		dm.onResize = func(ops []dcache.Op) {
 			// Resize traffic is pure background: nothing gates on it,

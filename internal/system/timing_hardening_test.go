@@ -8,6 +8,7 @@ import (
 	"fpcache/internal/dcache"
 	"fpcache/internal/fault"
 	"fpcache/internal/memtrace"
+	"fpcache/internal/testutil"
 )
 
 // badDesign emits a structurally invalid outcome DAG: its op depends
@@ -58,7 +59,7 @@ func mustInvalidOps(t *testing.T, what string, err error) {
 // leading outcomes of every run and fails its run on a malformed DAG
 // instead of deadlocking a core.
 func TestTimingRejectsCyclicOutcome(t *testing.T) {
-	_, err := RunTiming(&badDesign{}, randomTrace(1000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 1000})
+	_, err := RunTiming(&badDesign{}, testutil.RandomTrace(1000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 1000})
 	mustInvalidOps(t, "cyclic outcome", err)
 }
 
@@ -66,9 +67,9 @@ func TestTimingRejectsCyclicOutcome(t *testing.T) {
 // resize-transition op lists in both runners.
 func TestRunnersRejectCyclicResizeOps(t *testing.T) {
 	plan := &ResizePlan{PeriodRefs: 100, Fractions: []float64{0.25}}
-	_, ferr := RunFunctionalResized(&badResizable{}, randomTrace(1000, 5, 4), 0, 1000, plan)
+	_, ferr := RunFunctionalResized(&badResizable{}, testutil.RandomTrace(1000, 5, 4), 0, 1000, plan)
 	mustInvalidOps(t, "functional resize", ferr)
-	_, terr := RunTiming(&badResizable{}, randomTrace(1000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 1000, Resize: plan})
+	_, terr := RunTiming(&badResizable{}, testutil.RandomTrace(1000, 5, 4), TimingConfig{Cores: 4, MLP: 2, MaxRefs: 1000, Resize: plan})
 	mustInvalidOps(t, "timing resize", terr)
 }
 
@@ -109,7 +110,7 @@ func TestQueueHighWaterSkewedTrace(t *testing.T) {
 			skew.QueueHighWater, refs)
 	}
 
-	even := mustTiming(RunTiming(build(), randomTrace(refs, 5, 8), TimingConfig{Cores: 8, MLP: 2, MaxRefs: refs}))
+	even := mustTiming(RunTiming(build(), testutil.RandomTrace(refs, 5, 8), TimingConfig{Cores: 8, MLP: 2, MaxRefs: refs}))
 	if even.QueueHighWater >= refs/2 {
 		t.Fatalf("evenly interleaved trace high water %d; queues should stay shallow", even.QueueHighWater)
 	}
