@@ -8,6 +8,8 @@ package fpcache
 
 import (
 	"math/rand"
+	"os"
+	"strings"
 	"testing"
 
 	"fpcache/internal/dcache"
@@ -74,6 +76,27 @@ func TestAccessZeroAllocs(t *testing.T) {
 		if avg != 0 {
 			t.Errorf("%s: Access allocates %.2f allocs/op in steady state, want 0", name, avg)
 		}
+	}
+}
+
+// TestAllocBudgetManifestAgreement pins the static and runtime
+// budgets together: TestAccessZeroAllocs wants 0 allocs/op in steady
+// state, so the fplint allocbudget manifest must budget no hot-path
+// escapes. A change that adds a manifest entry has to loosen this test
+// — and justify the runtime budget — in the same commit, so the two
+// enforcement layers cannot drift apart silently.
+func TestAllocBudgetManifestAgreement(t *testing.T) {
+	raw, err := os.ReadFile("lint/allocbudget.manifest")
+	if err != nil {
+		t.Fatalf("reading allocbudget manifest: %v", err)
+	}
+	for i, line := range strings.Split(string(raw), "\n") {
+		text := strings.TrimSpace(line)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		t.Errorf("lint/allocbudget.manifest:%d: entry %q budgets a hot-path heap allocation, "+
+			"but TestAccessZeroAllocs pins 0 allocs/op — the static and runtime budgets disagree", i+1, text)
 	}
 }
 

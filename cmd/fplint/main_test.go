@@ -2,54 +2,100 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"fpcache/internal/lint"
 )
 
-// TestShippedTreeIsClean is the suite's own regression gate: the
-// checked-in tree must produce zero findings, so any new violation
-// fails CI rather than accumulating.
-func TestShippedTreeIsClean(t *testing.T) {
+// loadShipped loads the repository itself, memoized across every test
+// in this package via LoadShared — the whole-module type-check runs
+// once no matter how many tests consume it.
+func loadShipped(t *testing.T) *lint.Program {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("whole-module load in -short mode")
 	}
-	prog, err := lint.Load("../..", "./...")
+	prog, err := lint.LoadShared("../..", "./...")
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	diags, err := lint.RunProgram(prog, suite())
+	return prog
+}
+
+// TestShippedTreeIsClean is the suite's own regression gate: the
+// checked-in tree must produce zero findings — including stale-ignore
+// findings — so any new violation fails CI rather than accumulating.
+func TestShippedTreeIsClean(t *testing.T) {
+	prog := loadShipped(t)
+	diags, audit, err := lint.RunProgramAudit(prog, suite())
 	if err != nil {
 		t.Fatalf("running suite: %v", err)
 	}
+	enabled := map[string]bool{}
+	for _, a := range suite() {
+		enabled[a.Name] = true
+	}
+	diags = append(diags, lint.StaleIgnores(audit, enabled)...)
 	for _, d := range diags {
 		t.Errorf("shipped tree has a finding: %s", d)
 	}
 }
 
-// TestSuiteScopes pins the driver registry: all four analyzers
-// present, scoped analyzers matching exactly their contract packages.
+// TestSuppressionAccounting pins the shipped tree's ignore contract:
+// every //fplint:ignore directive suppresses exactly one finding. Zero
+// means the directive is stale (the code it excused is gone); more
+// than one means a directive silently widened its blast radius.
+func TestSuppressionAccounting(t *testing.T) {
+	prog := loadShipped(t)
+	_, audit, err := lint.RunProgramAudit(prog, suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	if len(audit) == 0 {
+		t.Fatal("no ignore directives found in the shipped tree; the audit is not seeing them")
+	}
+	for _, u := range audit {
+		if u.Suppressed != 1 {
+			t.Errorf("%s: //fplint:ignore %s suppressed %d finding(s), want exactly 1",
+				u.Pos, strings.Join(u.Analyzers, ","), u.Suppressed)
+		}
+	}
+}
+
+// TestSuiteScopes pins the driver registry: all six analyzers present,
+// scoped analyzers matching exactly their contract packages.
 func TestSuiteScopes(t *testing.T) {
 	byName := map[string]*lint.Analyzer{}
 	for _, a := range suite() {
 		byName[a.Name] = a
 	}
-	for _, name := range []string{"determinism", "hotpath", "faulterr", "snapmeta"} {
+	for _, name := range []string{"determinism", "hotpath", "faulterr", "snapmeta", "workershare", "allocbudget"} {
 		if byName[name] == nil {
 			t.Fatalf("suite is missing analyzer %q", name)
 		}
 	}
+	if len(suite()) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(suite()))
+	}
 	if m := byName["determinism"].Match; m == nil ||
-		!m("fpcache/internal/experiments") || m("fpcache/internal/memtrace") {
-		t.Errorf("determinism scope wrong: must cover experiments, not memtrace")
+		!m("fpcache/internal/experiments") || !m("fpcache/internal/faultinject") ||
+		m("fpcache/internal/memtrace") {
+		t.Errorf("determinism scope wrong: must cover experiments and faultinject, not memtrace")
 	}
 	if m := byName["faulterr"].Match; m == nil ||
 		!m("fpcache/internal/snap") || m("fpcache/internal/experiments") {
 		t.Errorf("faulterr scope wrong: must cover snap, not experiments")
 	}
-	if byName["hotpath"].Match != nil || byName["snapmeta"].Match != nil {
-		t.Errorf("hotpath and snapmeta must run unscoped")
+	if m := byName["workershare"].Match; m == nil ||
+		!m("fpcache/internal/sweep") || !m("fpcache/cmd/fpsim") || m("fpcache/internal/dcache") {
+		t.Errorf("workershare scope wrong: must cover sweep and cmd/fpsim, not dcache")
+	}
+	if byName["hotpath"].Match != nil || byName["snapmeta"].Match != nil || byName["allocbudget"].Match != nil {
+		t.Errorf("hotpath, snapmeta, and allocbudget must run unscoped")
 	}
 }
 
@@ -65,4 +111,154 @@ func TestVetHandshake(t *testing.T) {
 	if got != lint.VetVersionString {
 		t.Errorf("-V=full printed %q, want %q", got, lint.VetVersionString)
 	}
+}
+
+// runDriver invokes run() as the CLI would, capturing stdout.
+func runDriver(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code := run(args, out, os.Stderr)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// writeTempModule lays out a throwaway module named fpcache so the
+// suite's package scopes apply to its files.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fpcache\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestBaselineRoundTrip freezes a tree's findings with -write-baseline
+// and confirms -baseline then suppresses exactly those findings,
+// turning exit 1 into exit 0.
+func TestBaselineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list in -short mode")
+	}
+	dir := writeTempModule(t, map[string]string{
+		"internal/system/clock.go": `package system
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	if code, _ := runDriver(t, "-C", dir, "./..."); code != 1 {
+		t.Fatalf("dirty tree exited %d, want 1", code)
+	}
+	bl := filepath.Join(dir, "lint.baseline")
+	if code, _ := runDriver(t, "-C", dir, "-write-baseline", bl, "./..."); code != 0 {
+		t.Fatalf("-write-baseline exited %d, want 0", code)
+	}
+	if code, out := runDriver(t, "-C", dir, "-baseline", bl, "./..."); code != 0 {
+		t.Fatalf("baselined tree exited %d, want 0; stdout:\n%s", code, out)
+	}
+}
+
+// TestFixRewritesInPlace drives -fix end to end: a faulterr finding
+// with a mechanical rewrite is applied to disk and the re-run is
+// clean.
+func TestFixRewritesInPlace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list in -short mode")
+	}
+	dir := writeTempModule(t, map[string]string{
+		"internal/snap/snap.go": `package snap
+
+import "fmt"
+
+func Restore(path string, cause error) error {
+	return fmt.Errorf("restore %s: %v", path, cause)
+}
+`,
+	})
+	code, out := runDriver(t, "-C", dir, "-fix", "./...")
+	if code != 0 {
+		t.Fatalf("-fix exited %d, want 0 (all findings fixable); stdout:\n%s", code, out)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "internal/snap/snap.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), `"restore %s: %w"`) {
+		t.Errorf("fix did not rewrite %%v to %%w; file now:\n%s", src)
+	}
+	if code, _ := runDriver(t, "-C", dir, "./..."); code != 0 {
+		t.Errorf("tree still dirty after -fix, exited %d", code)
+	}
+}
+
+// TestSARIFOutput smoke-tests -format sarif: well-formed SARIF 2.1.0
+// with one run, all six rules, and one result per finding.
+func TestSARIFOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list in -short mode")
+	}
+	dir := writeTempModule(t, map[string]string{
+		"internal/system/clock.go": `package system
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	code, out := runDriver(t, "-C", dir, "-format", "sarif", "./...")
+	if code != 1 {
+		t.Fatalf("dirty tree exited %d, want 1", code)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("want SARIF 2.1.0 with one run, got version %q, %d runs", doc.Version, len(doc.Runs))
+	}
+	if got := len(doc.Runs[0].Tool.Driver.Rules); got < 6 {
+		t.Errorf("SARIF declares %d rules, want at least 6", got)
+	}
+	if len(doc.Runs[0].Results) == 0 {
+		t.Error("SARIF has no results for a dirty tree")
+	}
+	for _, r := range doc.Runs[0].Results {
+		if r.RuleID == "determinism" && strings.Contains(r.Message.Text, "time.Now") {
+			return
+		}
+	}
+	t.Errorf("no determinism/time.Now result in SARIF output:\n%s", out)
 }

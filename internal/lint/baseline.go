@@ -1,0 +1,124 @@
+package lint
+
+// Finding baselines, so a new analyzer can land strict-for-new-code:
+// `fplint -write-baseline lint.baseline` freezes the current findings,
+// and later runs with `-baseline lint.baseline` report only findings
+// not in the freeze. Entries are keyed by analyzer, module-relative
+// file, and message — deliberately not by line, so unrelated edits
+// above a frozen finding do not resurrect it. Each entry carries a
+// count: two identical findings in one file need two entries, and
+// fixing one surfaces the other only after the count is decremented
+// (re-freeze or hand-edit). Entries that match nothing are reported as
+// stale so the baseline only ever shrinks.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is a parsed set of frozen findings.
+type Baseline struct {
+	counts map[string]int
+	order  []string // first-seen order, for stale reporting
+}
+
+// baselineKey builds the entry key of one diagnostic. root anchors the
+// relative path so baselines are machine-independent.
+func baselineKey(root string, d Diagnostic) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	return d.Analyzer + "\t" + filepath.ToSlash(file) + "\t" + d.Message
+}
+
+// ReadBaseline parses path. A missing file is an empty baseline, so
+// `-baseline lint.baseline` works before the first freeze.
+func ReadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{counts: map[string]int{}}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") < 2 {
+			return nil, fmt.Errorf("lint: baseline %s: malformed entry %q (want analyzer<TAB>file<TAB>message)", path, line)
+		}
+		if b.counts[line] == 0 {
+			b.order = append(b.order, line)
+		}
+		b.counts[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// WriteBaseline freezes diags to path, one line per finding, sorted.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	var lines []string
+	for _, d := range diags {
+		lines = append(lines, baselineKey(root, d))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# fplint baseline: pre-existing findings frozen so new analyzers are\n")
+	sb.WriteString("# strict for new code only. One line per finding:\n")
+	sb.WriteString("# analyzer<TAB>module-relative-file<TAB>message. Regenerate with\n")
+	sb.WriteString("# `fplint -write-baseline " + filepath.Base(path) + " ./...`; entries matching\n")
+	sb.WriteString("# nothing are reported stale, so this file only shrinks.\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o666)
+}
+
+// Filter splits diags into findings surviving the baseline and the
+// count it absorbed, and reports baseline entries that matched nothing
+// (stale freezes) as "fplint" diagnostics so the file cannot rot.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (kept []Diagnostic, suppressed int, stale []string) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		k := baselineKey(root, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, k := range b.order {
+		if remaining[k] > 0 {
+			stale = append(stale, k)
+		}
+	}
+	return kept, suppressed, stale
+}
+
+// Len reports how many findings the baseline freezes.
+func (b *Baseline) Len() int {
+	n := 0
+	for _, v := range b.counts {
+		n += v
+	}
+	return n
+}

@@ -21,3 +21,11 @@ func TestReasonlessIgnoreReportsAndSuppressesNothing(t *testing.T) {
 		`time\.Now in a deterministic package`,
 	})
 }
+
+func TestSortedKeysSuggestedFix(t *testing.T) {
+	linttest.RunFix(t, "testdata/fix", determinism.Analyzer)
+}
+
+func TestFixFixtureWants(t *testing.T) {
+	linttest.Run(t, "testdata/fix", determinism.Analyzer)
+}

@@ -1,0 +1,14 @@
+// Fixture for the determinism suggested fix: a key-only map range
+// with order-sensitive effects becomes iteration over
+// slices.Sorted(maps.Keys(m)), with the import edits included.
+package a
+
+import (
+	"fmt"
+)
+
+func Emit(m map[string]int) {
+	for k := range m { // want `map iteration order is random`
+		fmt.Println(k, m[k])
+	}
+}

@@ -1,0 +1,11 @@
+// Second fixture file: the fix must synthesize a whole import block
+// when the file has none.
+package a
+
+func Collect(m map[int]string) []string {
+	var out []string
+	for k := range m { // want `map iteration order is random`
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Fixture for the faulterr suggested fix: Errorf verbs for error
+// arguments become %w; constructs without a mechanical rewrite are
+// reported plain.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Restore(path string, cause error) error {
+	return fmt.Errorf("restore %s: %v", path, cause) // want `fmt\.Errorf without %w`
+}
+
+func Seal(err error) error {
+	return fmt.Errorf("seal snapshot: %s", err) // want `fmt\.Errorf without %w`
+}
+
+func Legacy() error {
+	return errors.New("unclassified") // want `bare errors\.New`
+}
+
+func Padded(err error) error {
+	// %-20s carries a flag: the verb→argument mapping is not
+	// byte-trivial, so no fix — the finding is reported plain.
+	return fmt.Errorf("padded %-20s", err) // want `fmt\.Errorf without %w`
+}

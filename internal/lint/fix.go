@@ -1,0 +1,130 @@
+package lint
+
+// Suggested-fix application, the write side of fplint -fix. Fixes are
+// mechanical by contract: each is a set of byte-offset edits produced
+// from the type-checked syntax, so applying them cannot change
+// behavior beyond what the finding's message states. Overlapping fixes
+// are resolved deterministically — lowest start offset wins, the rest
+// of that finding's edits are dropped with it — and every touched file
+// is re-printed through go/format so -fix output is gofmt-clean.
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Applied are the diagnostics whose fix landed, in diagnostic
+	// order.
+	Applied []Diagnostic
+	// Skipped are diagnostics with a fix that overlapped an applied
+	// one.
+	Skipped []Diagnostic
+	// Files are the rewritten file paths, sorted.
+	Files []string
+}
+
+// ApplyFixes applies the first suggested fix of every diagnostic that
+// has one, rewrites the affected files in place, and reports what
+// happened. Diagnostics without fixes are untouched (the caller keeps
+// reporting them).
+func ApplyFixes(diags []Diagnostic) (*FixResult, error) {
+	res := &FixResult{}
+	type edit struct {
+		TextEdit
+		diag int // index into diags
+	}
+	var edits []edit
+	for i, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		for _, e := range d.Fixes[0].Edits {
+			edits = append(edits, edit{e, i})
+		}
+	}
+	if len(edits) == 0 {
+		return res, nil
+	}
+	sort.SliceStable(edits, func(i, j int) bool {
+		if edits[i].Filename != edits[j].Filename {
+			return edits[i].Filename < edits[j].Filename
+		}
+		return edits[i].Start < edits[j].Start
+	})
+	// An overlap poisons the whole finding, not just the colliding
+	// edit: applying half a fix (the import but not the rewrite) would
+	// leave the tree broken.
+	dropped := map[int]bool{}
+	lastEnd := map[string]int{}
+	for _, e := range edits {
+		if e.Start < lastEnd[e.Filename] {
+			dropped[e.diag] = true
+			continue
+		}
+		lastEnd[e.Filename] = max(e.End, e.Start)
+	}
+	byFile := map[string][]TextEdit{}
+	applied := map[int]bool{}
+	for _, e := range edits {
+		if dropped[e.diag] {
+			continue
+		}
+		byFile[e.Filename] = append(byFile[e.Filename], e.TextEdit)
+		applied[e.diag] = true
+	}
+	for file, es := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		fixed, err := ApplyEdits(src, es)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes to %s: %w", file, err)
+		}
+		if err := os.WriteFile(file, fixed, 0o666); err != nil {
+			return nil, fmt.Errorf("lint: writing fixed %s: %w", file, err)
+		}
+		res.Files = append(res.Files, file)
+	}
+	sort.Strings(res.Files)
+	for i, d := range diags {
+		switch {
+		case applied[i]:
+			res.Applied = append(res.Applied, d)
+		case dropped[i]:
+			res.Skipped = append(res.Skipped, d)
+		}
+	}
+	return res, nil
+}
+
+// ApplyEdits applies non-overlapping edits (any order) to src and
+// formats the result. The caller guarantees the edits' offsets refer
+// to src.
+func ApplyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sorted := append([]TextEdit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	var out []byte
+	prev := 0
+	for _, e := range sorted {
+		if e.Start < prev || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of bounds or overlapping (prev end %d, len %d)",
+				e.Start, e.End, prev, len(src))
+		}
+		out = append(out, src[prev:e.Start]...)
+		out = append(out, e.NewText...)
+		prev = e.End
+	}
+	out = append(out, src[prev:]...)
+	formatted, err := format.Source(out)
+	if err != nil {
+		// A fix that does not parse is a bug in the analyzer; surface
+		// the raw result so the caller's build error points at it.
+		return out, nil
+	}
+	return formatted, nil
+}

@@ -67,12 +67,7 @@ func run(pass *lint.Pass) error {
 	}}
 	var cl *closure
 	if pass.Program != nil {
-		if memo, ok := pass.Program.Memo[memoKey]; ok {
-			cl = memo.(*closure)
-		} else {
-			cl = buildClosure(pass.Program.Packages)
-			pass.Program.Memo[memoKey] = cl
-		}
+		cl = programClosure(pass.Program)
 	} else {
 		cl = buildClosure(pkgs)
 	}
@@ -87,6 +82,37 @@ func run(pass *lint.Pass) error {
 		checkBody(pass, node, seed)
 	}
 	return nil
+}
+
+// HotFunc is one member of the exported hotpath closure.
+type HotFunc struct {
+	Seed string            // the //fplint:hotpath seed that made it hot
+	Decl *ast.FuncDecl     // its declaration
+	Pkg  *lint.PackageInfo // the package declaring it
+}
+
+// ProgramHotFuncs exposes the whole-program hotpath closure to other
+// analyzers (allocbudget intersects compiler escape diagnostics with
+// it). The closure is memoized in prog.Memo under the same key the
+// hotpath analyzer uses, so whichever runs first pays for the BFS.
+func ProgramHotFuncs(prog *lint.Program) map[*types.Func]HotFunc {
+	cl := programClosure(prog)
+	out := make(map[*types.Func]HotFunc, len(cl.hot))
+	for fn, seed := range cl.hot {
+		if node := cl.nodes[fn]; node != nil {
+			out[fn] = HotFunc{Seed: seed, Decl: node.decl, Pkg: node.pkg}
+		}
+	}
+	return out
+}
+
+func programClosure(prog *lint.Program) *closure {
+	if memo, ok := prog.Memo[memoKey]; ok {
+		return memo.(*closure)
+	}
+	cl := buildClosure(prog.Packages)
+	prog.Memo[memoKey] = cl
+	return cl
 }
 
 // --- closure construction --------------------------------------------
@@ -250,6 +276,11 @@ func hasDirective(cg *ast.CommentGroup) bool {
 	}
 	return false
 }
+
+// FuncLabel is the package-qualified human label of a function
+// (pkg.Type.Method for methods), the identity the allocbudget manifest
+// keys entries by.
+func FuncLabel(fn *types.Func) string { return funcLabel(fn) }
 
 func funcLabel(fn *types.Func) string {
 	if fn.Pkg() == nil {

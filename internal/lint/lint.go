@@ -52,10 +52,30 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Fixes are optional mechanical corrections; fplint -fix applies
+	// the first fix of each finding when its edits do not overlap
+	// another applied fix.
+	Fixes []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// SuggestedFix is one mechanical correction for a finding: a set of
+// byte-offset edits that, applied together, resolve it.
+type SuggestedFix struct {
+	// Message describes the fix for reports ("replace %v with %w").
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the bytes [Start, End) of Filename with NewText.
+// Start == End inserts.
+type TextEdit struct {
+	Filename   string
+	Start, End int
+	NewText    string
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -84,11 +104,58 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportAt records a finding at an explicit file position — for
+// findings whose location is not part of the type-checked syntax (a
+// compiler diagnostic's site, a line of a data file like the
+// allocbudget manifest).
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFix records a finding at pos carrying one suggested fix. A fix
+// with no edits is dropped (the analyzer decided mid-construction the
+// rewrite was not safe) and the finding reported plain.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	d := Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if len(fix.Edits) > 0 {
+		d.Fixes = []SuggestedFix{fix}
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// Edit builds a TextEdit replacing the source range [from, to) with
+// newText, resolving token positions to byte offsets.
+func (p *Pass) Edit(from, to token.Pos, newText string) TextEdit {
+	start := p.Fset.Position(from)
+	end := p.Fset.Position(to)
+	return TextEdit{Filename: start.Filename, Start: start.Offset, End: end.Offset, NewText: newText}
+}
+
 // RunProgram runs every analyzer over every package of prog (honoring
 // Analyzer.Match), applies the //fplint:ignore directives, and returns
 // the surviving diagnostics in deterministic order.
 func RunProgram(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunProgramAudit(prog, analyzers)
+	return diags, err
+}
+
+// RunProgramAudit is RunProgram plus suppression accounting: it also
+// returns one IgnoreUse per well-formed //fplint:ignore directive in
+// the analyzed packages, recording how many findings each suppressed.
+// A directive with Suppressed == 0 is stale — the code it excused no
+// longer trips the analyzer — and strict callers turn it into a
+// finding (StaleIgnores).
+func RunProgramAudit(prog *Program, analyzers []*Analyzer) ([]Diagnostic, []IgnoreUse, error) {
 	var diags []Diagnostic
+	var audit []IgnoreUse
 	for _, pkg := range prog.Packages {
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.ImportPath) {
@@ -105,14 +172,66 @@ func RunProgram(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
-		diags = applyIgnores(prog.Fset, pkg.Files, diags)
+		var uses []IgnoreUse
+		diags, uses = applyIgnores(prog.Fset, pkg.Files, diags)
+		audit = append(audit, uses...)
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	sort.Slice(audit, func(i, j int) bool {
+		a, b := audit[i].Pos, audit[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return diags, audit, nil
 }
+
+// StaleIgnores converts unused directives into findings: a directive
+// that suppressed nothing for any of the enabled analyzers it names is
+// a lost invariant waiting to regress silently. Each finding carries a
+// fix deleting the directive. enabled is the set of analyzer names
+// that actually ran; directives naming only other analyzers are left
+// alone (a scoped or filtered run cannot judge them).
+func StaleIgnores(audit []IgnoreUse, enabled map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, u := range audit {
+		if u.Suppressed > 0 {
+			continue
+		}
+		names := ""
+		covered := false
+		for _, a := range u.Analyzers {
+			if enabled[a] {
+				covered = true
+			}
+			if names != "" {
+				names += ","
+			}
+			names += a
+		}
+		if !covered {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "fplint",
+			Pos:      u.Pos,
+			Message: fmt.Sprintf("stale //fplint:ignore %s: it suppresses no finding; "+
+				"delete it (or re-justify it) so silenced invariants stay visible", names),
+			Fixes: []SuggestedFix{{Message: "delete the stale directive", Edits: []TextEdit{u.delEdit}}},
+		})
+	}
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer,
+// message — the stable order every output path uses. Callers that
+// append findings after a Run* call (e.g. StaleIgnores) re-sort with
+// this before printing.
+func SortDiagnostics(diags []Diagnostic) { sortDiagnostics(diags) }
 
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {

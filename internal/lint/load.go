@@ -32,6 +32,12 @@ type Program struct {
 	Fset     *token.FileSet
 	Sizes    types.Sizes
 	Packages []*PackageInfo
+	// RootDir is the directory package patterns were resolved in
+	// (the module root for `fplint ./...`). Analyzers that shell out
+	// to the go tool (allocbudget) or resolve checked-in data files
+	// (the allocbudget manifest) anchor here. Empty for fixture
+	// programs.
+	RootDir string
 
 	byPath map[string]*PackageInfo
 	// Memo lets whole-program analyzers cache work that is shared
@@ -139,11 +145,16 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	rootDir := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		rootDir = abs
+	}
 	prog := &Program{
-		Fset:   token.NewFileSet(),
-		Sizes:  types.SizesFor("gc", runtime.GOARCH),
-		byPath: map[string]*PackageInfo{},
-		Memo:   map[string]any{},
+		Fset:    token.NewFileSet(),
+		Sizes:   types.SizesFor("gc", runtime.GOARCH),
+		RootDir: rootDir,
+		byPath:  map[string]*PackageInfo{},
+		Memo:    map[string]any{},
 	}
 	exports := map[string]string{}
 	for _, p := range listed {
@@ -168,6 +179,62 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		prog.byPath[p.ImportPath] = pi
 	}
 	return prog, nil
+}
+
+// --- shared whole-program load ----------------------------------------
+
+var (
+	sharedMu    sync.Mutex
+	sharedProgs = map[string]*sharedLoad{}
+)
+
+type sharedLoad struct {
+	once sync.Once
+	prog *Program
+	err  error
+}
+
+// LoadShared is Load with a process-wide memo: repeated requests for
+// the same (dir, patterns) return one Program, so a test binary (or a
+// driver running several whole-program stages) pays the `go list
+// -export -deps -json` enumeration and the module-wide type-check
+// once instead of per caller. The shared Program's Memo is shared
+// too, which is the point — the hotpath closure and the allocbudget
+// escape scan amortize across everything that runs over it. Callers
+// must treat the Program as immutable.
+func LoadShared(dir string, patterns ...string) (*Program, error) {
+	key := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		key = abs
+	}
+	key += "\x00" + strings.Join(patterns, "\x00")
+	sharedMu.Lock()
+	sl, ok := sharedProgs[key]
+	if !ok {
+		sl = &sharedLoad{}
+		sharedProgs[key] = sl
+	}
+	sharedMu.Unlock()
+	sl.once.Do(func() { sl.prog, sl.err = Load(dir, patterns...) })
+	return sl.prog, sl.err
+}
+
+// InvalidateShared drops every LoadShared memo entry for dir. Callers
+// that mutate the tree on disk (fplint -fix, test scaffolding) must
+// invalidate before the next LoadShared, or they get the pre-edit
+// Program back.
+func InvalidateShared(dir string) {
+	key := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		key = abs
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	for k := range sharedProgs {
+		if k == key || strings.HasPrefix(k, key+"\x00") {
+			delete(sharedProgs, k)
+		}
+	}
 }
 
 func newInfo() *types.Info {
@@ -232,45 +299,91 @@ func moduleRoot() (string, error) {
 	return moduleRootDir, moduleRootErr
 }
 
-// LoadFixture parses and type-checks the single package in dir
-// (an analyzer's testdata fixture, outside the module's package list)
-// and wraps it in a one-package Program. Export data for the fixture's
+// fixturePathPrefix is the import-path namespace of multi-package
+// fixtures: a fixture subdirectory `b/` type-checks as package path
+// "fixture/b" and sibling packages import it by that path.
+const fixturePathPrefix = "fixture/"
+
+// LoadFixture parses and type-checks the fixture under dir (an
+// analyzer's testdata fixture, outside the module's package list) and
+// wraps it in a Program. The files directly in dir form one package,
+// as before; subdirectories containing Go files form additional
+// packages importable as "fixture/<subdir>", so whole-program
+// analyses (the hotpath and workershare closures) can be exercised
+// across package boundaries from a fixture. Export data for all other
 // imports is resolved through the enclosing module, so fixtures may
-// import both the standard library and fpcache/internal packages.
+// import the standard library and fpcache/internal packages.
 func LoadFixture(dir string) (*Program, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: fixture dir: %w", err)
 	}
 	fset := token.NewFileSet()
-	var files []*ast.File
+	parseDir := func(d string) ([]*ast.File, error) {
+		es, err := os.ReadDir(d)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixture dir: %w", err)
+		}
+		var files []*ast.File
+		for _, e := range es {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			full := filepath.Join(d, e.Name())
+			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing fixture %s: %w", full, err)
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	rootFiles, err := parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type subPkg struct {
+		path  string
+		dir   string
+		files []*ast.File
+	}
+	var subs []*subPkg
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		if !e.IsDir() {
 			continue
 		}
-		full := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		sd := filepath.Join(dir, e.Name())
+		files, err := parseDir(sd)
 		if err != nil {
-			return nil, fmt.Errorf("lint: parsing fixture %s: %w", full, err)
+			return nil, err
 		}
-		files = append(files, f)
+		if len(files) > 0 {
+			subs = append(subs, &subPkg{path: fixturePathPrefix + e.Name(), dir: sd, files: files})
+		}
 	}
-	if len(files) == 0 {
+	if len(rootFiles) == 0 && len(subs) == 0 {
 		return nil, fmt.Errorf("lint: fixture dir %s has no Go files", dir)
 	}
 	root, err := moduleRoot()
 	if err != nil {
 		return nil, err
 	}
-	// Resolve export data for every import the fixture names. Results
-	// accumulate process-wide so a test binary lists each dependency
-	// set once.
+	// Resolve export data for every non-fixture import the fixture
+	// names. Results accumulate process-wide so a test binary lists
+	// each dependency set once.
+	allFiles := append([]*ast.File(nil), rootFiles...)
+	for _, s := range subs {
+		allFiles = append(allFiles, s.files...)
+	}
 	var missing []string
 	fixtureMu.Lock()
-	for _, f := range files {
+	for _, f := range allFiles {
 		for _, spec := range f.Imports {
 			path := strings.Trim(spec.Path.Value, `"`)
-			if _, ok := fixtureExports[path]; !ok && path != "unsafe" {
+			if strings.HasPrefix(path, fixturePathPrefix) || path == "unsafe" {
+				continue
+			}
+			if _, ok := fixtureExports[path]; !ok {
 				missing = append(missing, path)
 			}
 		}
@@ -295,19 +408,47 @@ func LoadFixture(dir string) (*Program, error) {
 
 	sizes := types.SizesFor("gc", runtime.GOARCH)
 	imp := newExportImporter(fset, exports)
-	info := newInfo()
 	conf := types.Config{Importer: imp, Sizes: sizes}
-	pkgPath := files[0].Name.Name
-	pkg, err := conf.Check(pkgPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", dir, err)
+	prog := &Program{
+		Fset:   fset,
+		Sizes:  sizes,
+		byPath: map[string]*PackageInfo{},
+		Memo:   map[string]any{},
 	}
-	pi := &PackageInfo{ImportPath: pkgPath, Dir: dir, Files: files, Pkg: pkg, Info: info}
-	return &Program{
-		Fset:     fset,
-		Sizes:    sizes,
-		Packages: []*PackageInfo{pi},
-		byPath:   map[string]*PackageInfo{pkgPath: pi},
-		Memo:     map[string]any{},
-	}, nil
+	check := func(path, pkgDir string, files []*ast.File) error {
+		info := newInfo()
+		pkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return fmt.Errorf("lint: type-checking fixture %s: %w", pkgDir, err)
+		}
+		imp.checked[path] = pkg
+		pi := &PackageInfo{ImportPath: path, Dir: pkgDir, Files: files, Pkg: pkg, Info: info}
+		prog.Packages = append(prog.Packages, pi)
+		prog.byPath[path] = pi
+		return nil
+	}
+	// Fixture subpackages may import one another; iterate to a fixpoint
+	// so declaration order in the directory does not dictate dependency
+	// order.
+	pending := subs
+	for len(pending) > 0 {
+		var next []*subPkg
+		var lastErr error
+		for _, s := range pending {
+			if err := check(s.path, s.dir, s.files); err != nil {
+				next = append(next, s)
+				lastErr = err
+			}
+		}
+		if len(next) == len(pending) {
+			return nil, lastErr
+		}
+		pending = next
+	}
+	if len(rootFiles) > 0 {
+		if err := check(rootFiles[0].Name.Name, dir, rootFiles); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
 }

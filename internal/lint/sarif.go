@@ -1,0 +1,159 @@
+package lint
+
+// SARIF 2.1.0 output (`fplint -format sarif` / `-sarif FILE`), the
+// interchange format GitHub code scanning ingests: one run, one rule
+// per analyzer, one result per finding, suggested fixes encoded as
+// artifact-change replacements. Only the fields code scanning and the
+// SARIF validators require are emitted; URIs are module-root-relative
+// so the report is machine-independent.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Version        string      `json:"version,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine,omitempty"`
+	StartColumn int `json:"startColumn,omitempty"`
+	CharOffset  int `json:"charOffset,omitempty"`
+	CharLength  int `json:"charLength,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifMessage          `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifact      `json:"artifactLocation"`
+	Replacements     []sarifReplacement `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifRegion   `json:"deletedRegion"`
+	InsertedContent *sarifMessage `json:"insertedContent,omitempty"`
+}
+
+// WriteSARIF encodes diags as one SARIF 2.1.0 run. analyzers supplies
+// the rule table (every enabled analyzer appears, findings or not, so
+// code scanning can show a rule as "passing"); the synthetic "fplint"
+// rule hosts framework findings (malformed/stale ignores). root
+// anchors relative URIs.
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, diags []Diagnostic) error {
+	rules := []sarifRule{{ID: "fplint", ShortDescription: sarifMessage{
+		Text: "framework findings: malformed or stale //fplint:ignore directives"}}}
+	ruleIndex := map[string]int{"fplint": 0}
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	relURI := func(file string) string {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return filepath.ToSlash(file)
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relURI(d.Pos.Filename)},
+				Region:           &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		}
+		for _, f := range d.Fixes {
+			byFile := map[string][]sarifReplacement{}
+			var order []string
+			for _, e := range f.Edits {
+				uri := relURI(e.Filename)
+				if _, ok := byFile[uri]; !ok {
+					order = append(order, uri)
+				}
+				rep := sarifReplacement{DeletedRegion: sarifRegion{CharOffset: e.Start, CharLength: e.End - e.Start}}
+				if e.NewText != "" {
+					rep.InsertedContent = &sarifMessage{Text: e.NewText}
+				}
+				byFile[uri] = append(byFile[uri], rep)
+			}
+			fix := sarifFix{Description: sarifMessage{Text: f.Message}}
+			for _, uri := range order {
+				fix.ArtifactChanges = append(fix.ArtifactChanges, sarifArtifactChange{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Replacements:     byFile[uri],
+				})
+			}
+			res.Fixes = append(res.Fixes, fix)
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fplint", Version: "2", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,20 @@
+// Ignore-directive fixture: a deliberate arrival-order append carries
+// an //fplint:ignore with a reason and suppresses exactly one finding.
+package a
+
+import "sync"
+
+func TimingHistogram(jobs []int) []int {
+	var order []int
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			//fplint:ignore workershare arrival order is the measurement here, not a bug
+			order = append(order, jobs[i])
+		}()
+	}
+	wg.Wait()
+	return order
+}

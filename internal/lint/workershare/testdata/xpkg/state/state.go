@@ -1,0 +1,20 @@
+// Subpackage for the cross-package reach fixture: workers in the root
+// package call into here.
+package state
+
+import "sync"
+
+var Hits int
+
+var mu sync.Mutex
+var guarded int
+
+// RecordHit mutates package state with no synchronization.
+func RecordHit() { Hits++ }
+
+// RecordGuarded mutates package state under its own lock; legal.
+func RecordGuarded() {
+	mu.Lock()
+	guarded++
+	mu.Unlock()
+}

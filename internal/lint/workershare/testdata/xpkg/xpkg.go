@@ -1,0 +1,23 @@
+// Cross-package fixture: the unsynchronized package-level write lives
+// in an imported fixture subpackage, so flagging it requires the
+// whole-program call-graph reach.
+package xpkg
+
+import (
+	"sync"
+
+	"fixture/state"
+)
+
+func FanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state.RecordHit()     // want `worker calls RecordHit, which writes package-level variable Hits`
+			state.RecordGuarded() // fine: the callee locks around its write
+		}()
+	}
+	wg.Wait()
+}

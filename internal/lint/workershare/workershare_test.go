@@ -1,0 +1,20 @@
+package workershare_test
+
+import (
+	"testing"
+
+	"fpcache/internal/lint/linttest"
+	"fpcache/internal/lint/workershare"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/a", workershare.Analyzer)
+}
+
+func TestCrossPackageReach(t *testing.T) {
+	linttest.Run(t, "testdata/xpkg", workershare.Analyzer)
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	linttest.Run(t, "testdata/ignored", workershare.Analyzer)
+}
